@@ -1,0 +1,93 @@
+//! Cost of the diagnostic pipeline stages: distributed-state ingestion,
+//! ONA evaluation and trust updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decos::diagnosis::{
+    DistributedState, FruAssessor, OnaBank, OnaParams, PatternMatch, Subject, Symptom,
+    SymptomKind, TrustParams,
+};
+use decos::faults::{FaultClass, FruRef};
+use decos::prelude::*;
+use decos::timebase::LatticePoint;
+
+fn mk_symptoms(n: usize, round: u64) -> Vec<Symptom> {
+    (0..n)
+        .map(|i| Symptom {
+            at: SimTime::from_millis(round * 4),
+            point: LatticePoint(round * 4),
+            observer: NodeId((i % 4) as u16),
+            subject: Subject::Component(NodeId(((i + 1) % 4) as u16)),
+            kind: if i % 3 == 0 { SymptomKind::InvalidCrc } else { SymptomKind::Omission },
+        })
+        .collect()
+}
+
+fn bench_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed_state");
+    for &per_round in &[0usize, 4, 32] {
+        g.throughput(Throughput::Elements(per_round.max(1) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("ingest_round", per_round),
+            &per_round,
+            |b, &n| {
+                let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    ds.ingest_round(SimTime::from_millis(round * 4), mk_symptoms(n, round));
+                });
+            },
+        );
+    }
+    g.bench_function("pair_matrix_window3", |b| {
+        let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
+        for r in 0..512u64 {
+            ds.ingest_round(SimTime::from_millis(r * 4), mk_symptoms(8, r));
+        }
+        b.iter(|| std::hint::black_box(ds.pair_matrix(3)));
+    });
+    g.finish();
+}
+
+fn bench_ona(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ona_bank");
+    let sim = ClusterSim::new(fig10::reference_spec(), 1).unwrap();
+    for &per_round in &[0usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_round", per_round),
+            &per_round,
+            |b, &n| {
+                let mut bank = OnaBank::new(&sim, OnaParams::default());
+                let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    ds.ingest_round(SimTime::from_millis(round * 4), mk_symptoms(n, round));
+                    std::hint::black_box(
+                        bank.evaluate_round(SimTime::from_millis(round * 4), &ds),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trust(c: &mut Criterion) {
+    c.bench_function("trust_update_round", |b| {
+        let mut t = FruAssessor::new(TrustParams::default());
+        let matches: Vec<PatternMatch> = (0..8)
+            .map(|i| PatternMatch {
+                at: SimTime::ZERO,
+                fru: FruRef::Component(NodeId(i % 4)),
+                class: FaultClass::ComponentInternal,
+                pattern: "bench",
+                confidence: 0.5,
+            })
+            .collect();
+        b.iter(|| t.update_round(&matches));
+    });
+}
+
+criterion_group!(benches, bench_state, bench_ona, bench_trust);
+criterion_main!(benches);

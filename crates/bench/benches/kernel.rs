@@ -1,0 +1,56 @@
+//! Throughput of the discrete-event kernel (`decos-sim`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decos::sim::{Context, Engine, Model, SimDuration, SimTime};
+
+struct Ticker {
+    remaining: u64,
+    period: SimDuration,
+}
+
+enum Ev {
+    Tick,
+}
+
+impl Model for Ticker {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Context<Ev>, _event: Ev) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(self.period, Ev::Tick);
+        }
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernel");
+    for &events in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("self_scheduling_chain", events), &events, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(Ticker {
+                    remaining: n,
+                    period: SimDuration::from_micros(10),
+                });
+                eng.schedule_at(SimTime::ZERO, Ev::Tick);
+                eng.run_until(SimTime::MAX);
+                assert_eq!(eng.processed(), n + 1);
+            });
+        });
+    }
+    // Wide queue: many concurrent timers (heap pressure).
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("wide_heap_10k", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Ticker { remaining: 0, period: SimDuration::from_micros(1) });
+            for i in 0..10_000u64 {
+                eng.schedule_at(SimTime::from_nanos(i * 97 % 100_000), Ev::Tick);
+            }
+            eng.run_until(SimTime::MAX);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! End-to-end simulation throughput: cluster slots per second, with and
+//! without faults and with the diagnostic engine attached — the numbers
+//! that size the fleet experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use decos::diagnosis::{DiagnosticEngine, EngineParams};
+use decos::faults::{campaign, FaultEnvironment};
+use decos::platform::NullEnvironment;
+use decos::prelude::*;
+use decos::sim::SeedSource;
+
+const SLOTS: u64 = 4_000;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.throughput(Throughput::Elements(SLOTS));
+
+    g.bench_function("fault_free_slots", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(fig10::reference_spec(), 1).unwrap();
+            let mut env = NullEnvironment;
+            for _ in 0..SLOTS {
+                std::hint::black_box(sim.step_slot(&mut env));
+            }
+        });
+    });
+
+    // Scaling: the 8-LRM avionics cluster (2× components, 14 jobs).
+    g.bench_function("fault_free_slots_avionics", |b| {
+        b.iter(|| {
+            let mut sim =
+                ClusterSim::new(decos::platform::avionics::avionics_spec(), 1).unwrap();
+            let mut env = NullEnvironment;
+            for _ in 0..SLOTS {
+                std::hint::black_box(sim.step_slot(&mut env));
+            }
+        });
+    });
+
+    g.bench_function("faulty_slots", |b| {
+        b.iter(|| {
+            let spec = fig10::reference_spec();
+            let mut env = FaultEnvironment::for_cluster(
+                campaign::connector_campaign(NodeId(2), 2_000.0),
+                &spec,
+                10.0,
+                SeedSource::new(2),
+            );
+            let mut sim = ClusterSim::new(spec, 2).unwrap();
+            for _ in 0..SLOTS {
+                std::hint::black_box(sim.step_slot(&mut env));
+            }
+        });
+    });
+
+    g.bench_function("slots_with_diagnosis", |b| {
+        b.iter(|| {
+            let spec = fig10::reference_spec();
+            let mut env = FaultEnvironment::for_cluster(
+                campaign::connector_campaign(NodeId(2), 2_000.0),
+                &spec,
+                10.0,
+                SeedSource::new(3),
+            );
+            let mut sim = ClusterSim::new(spec, 3).unwrap();
+            let mut eng = DiagnosticEngine::new(&sim, EngineParams::default());
+            for _ in 0..SLOTS {
+                let rec = sim.step_slot(&mut env);
+                eng.observe_slot(&sim, &rec);
+            }
+            std::hint::black_box(eng.report())
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("full_campaign_1000_rounds", |b| {
+        b.iter(|| {
+            let camp = Campaign::reference(
+                campaign::wearout_campaign(NodeId(1), 500.0, 200_000.0),
+                1.0,
+                1_000,
+                4,
+            );
+            std::hint::black_box(run_campaign(&camp).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Throughput of the time-triggered network primitives (`decos-ttnet`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decos::sim::SeedSource;
+use decos::ttnet::crc::crc32;
+use decos::ttnet::{
+    BroadcastBus, ChannelParams, Frame, MembershipParams, MembershipService, NodeId,
+    RxDisturbance, SlotIndex, TxAttempt,
+};
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    for &len in &[64usize, 1024] {
+        let data = vec![0xA5u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, d| {
+            b.iter(|| crc32(std::hint::black_box(d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus_resolve_slot");
+    let mut rng = SeedSource::new(1).stream("bench-bus", 0);
+    for &receivers in &[4usize, 16, 63] {
+        let frame = Frame::new(NodeId(0), 0, SlotIndex(0), vec![0u8; 256]);
+        g.throughput(Throughput::Elements(receivers as u64));
+        g.bench_with_input(BenchmarkId::new("nominal", receivers), &receivers, |b, &n| {
+            let mut bus = BroadcastBus::new(ChannelParams::default());
+            let rx = vec![RxDisturbance::NONE; n];
+            b.iter(|| {
+                let tx = TxAttempt::nominal(frame.clone());
+                bus.resolve_slot(&tx, &rx, &mut rng)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("disturbed", receivers), &receivers, |b, &n| {
+            let mut bus = BroadcastBus::new(ChannelParams::default());
+            let rx: Vec<RxDisturbance> = (0..n)
+                .map(|i| RxDisturbance { omit: i % 3 == 0, corrupt_bits: (i % 2) as u32 * 3 })
+                .collect();
+            b.iter(|| {
+                let tx = TxAttempt {
+                    frame: Some(frame.clone()),
+                    offset_ns: 2_000,
+                    source_corrupt_bits: 1,
+                };
+                bus.resolve_slot(&tx, &rx, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    c.bench_function("membership_observe_slot", |b| {
+        let mut m = MembershipService::new(16, MembershipParams::default());
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 1) % 16;
+            m.observe_slot(NodeId(i), i % 7 != 0)
+        });
+    });
+}
+
+criterion_group!(benches, bench_crc, bench_bus, bench_membership);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regenerates the paper's figures as data: one subcommand per experiment.
+//!
+//! ```sh
+//! cargo run --release -p decos-bench --bin repro -- all
+//! cargo run --release -p decos-bench --bin repro -- e5-bathtub --json
+//! cargo run --release -p decos-bench --bin repro -- e9-actions --effort 0.2
+//! ```
+
+use decos_bench::experiments as exp;
+use decos_bench::Effort;
+
+const IDS: &[&str] = &[
+    "e1-architecture",
+    "e2-taxonomy",
+    "e3-component",
+    "e4-job",
+    "e5-bathtub",
+    "e6-patterns",
+    "e7-trust",
+    "e8-judgment",
+    "e9-actions",
+    "e10-assumptions",
+    "e11-alpha",
+    "e12-ablation",
+    "e13-service-loop",
+];
+
+fn run_one(id: &str, effort: Effort, json: bool) {
+    macro_rules! emit {
+        ($result:expr) => {{
+            let r = $result;
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+            } else {
+                println!("{}", r.render());
+            }
+        }};
+    }
+    match id {
+        "e1-architecture" => emit!(exp::e1_architecture()),
+        "e2-taxonomy" => emit!(exp::e2_taxonomy(effort)),
+        "e3-component" => emit!(exp::e3_component(effort)),
+        "e4-job" => emit!(exp::e4_job(effort)),
+        "e5-bathtub" => emit!(exp::e5_bathtub(effort)),
+        "e6-patterns" => emit!(exp::e6_patterns(effort)),
+        "e7-trust" => emit!(exp::e7_trust(effort)),
+        "e8-judgment" => emit!(exp::e8_judgment(effort)),
+        "e9-actions" => emit!(exp::e9_actions(effort)),
+        "e10-assumptions" => emit!(exp::e10_assumptions(effort)),
+        "e11-alpha" => emit!(exp::e11_alpha(effort)),
+        "e12-ablation" => emit!(exp::e12_ablation(effort)),
+        "e13-service-loop" => emit!(exp::e13_service_loop(effort)),
+        other => {
+            eprintln!("unknown experiment '{other}'; available: {IDS:?} or 'all'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let effort = args
+        .iter()
+        .position(|a| a == "--effort")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(Effort)
+        .unwrap_or(Effort(1.0));
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
+        .map(|s| s.as_str())
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: repro <experiment|all> [--json] [--effort <f>]");
+        eprintln!("experiments: {IDS:?}");
+        std::process::exit(2);
+    }
+    for id in ids {
+        if id == "all" {
+            for e in IDS {
+                println!("================================================================");
+                run_one(e, effort, json);
+            }
+        } else {
+            run_one(id, effort, json);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! # decos-bench — experiment harness and benchmarks
+//!
+//! [`experiments`] regenerates every figure of the paper as data (E1–E11,
+//! see DESIGN.md §5); the `repro` binary dispatches on experiment id.
+//! Criterion benches live under `benches/`.
+
+pub mod experiments;
+
+pub use experiments::Effort;

@@ -1,0 +1,167 @@
+//! Fleet-scale Monte-Carlo evaluation (rayon-parallel).
+//!
+//! The paper's economic claims (NFF ratio, wasted removal cost) are
+//! statistical statements over a *fleet*. [`run_fleet`] simulates many
+//! vehicles — each with an independently sampled ground-truth fault — and
+//! aggregates classification quality and replacement economics for both the
+//! integrated diagnosis and the OBD baseline.
+//!
+//! Per the session's HPC guidance, vehicles are embarrassingly parallel:
+//! each runs its own deterministic single-threaded simulation with a
+//! derived seed; aggregation is a rayon `map`/`reduce`.
+
+use crate::runner::{run_campaign_with_params, Campaign};
+use decos_diagnosis::EngineParams;
+use decos_diagnosis::{score_case, ActionScore, ConfusionMatrix};
+use decos_faults::{FaultClass, FruRef, MaintenanceAction};
+use decos_platform::ClusterSpec;
+use decos_sim::rng::SeedSource;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of vehicles (one sampled fault each).
+    pub vehicles: u64,
+    /// Horizon per vehicle, TDMA rounds.
+    pub rounds: u64,
+    /// Rate acceleration factor.
+    pub accel: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { vehicles: 100, rounds: 4000, accel: 10.0, seed: 2005 }
+    }
+}
+
+/// One vehicle's scored outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VehicleOutcome {
+    /// The ground-truth class.
+    pub truth_class: FaultClass,
+    /// The ground-truth FRU.
+    pub truth_fru: FruRef,
+    /// The integrated diagnosis's decided class for the true FRU.
+    pub decos_class: Option<FaultClass>,
+    /// Integrated diagnosis action score.
+    pub decos: ActionScore,
+    /// Baseline action score.
+    pub obd: ActionScore,
+}
+
+/// Aggregated fleet results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Per-vehicle outcomes.
+    pub vehicles: Vec<VehicleOutcome>,
+    /// Confusion matrix of the integrated diagnosis.
+    pub confusion: ConfusionMatrix,
+    /// Aggregated integrated-diagnosis score.
+    pub decos: ActionScore,
+    /// Aggregated baseline score.
+    pub obd: ActionScore,
+    /// Ground-truth class counts.
+    pub class_counts: BTreeMap<String, u64>,
+}
+
+/// Runs a fleet and aggregates.
+pub fn run_fleet(spec: &ClusterSpec, cfg: FleetConfig) -> FleetOutcome {
+    run_fleet_with_params(spec, cfg, EngineParams::default())
+}
+
+/// Runs a fleet with explicit engine parameters (ablations).
+pub fn run_fleet_with_params(
+    spec: &ClusterSpec,
+    cfg: FleetConfig,
+    params: EngineParams,
+) -> FleetOutcome {
+    let seeds = SeedSource::new(cfg.seed);
+    let vehicles: Vec<VehicleOutcome> = (0..cfg.vehicles)
+        .into_par_iter()
+        .map(|v| run_vehicle(spec, cfg, seeds, v, params))
+        .collect();
+
+    let mut confusion = ConfusionMatrix::new();
+    let mut decos = ActionScore::default();
+    let mut obd = ActionScore::default();
+    let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for o in &vehicles {
+        confusion.record(o.truth_class, o.decos_class);
+        decos.merge(&o.decos);
+        obd.merge(&o.obd);
+        *class_counts.entry(o.truth_class.to_string()).or_insert(0) += 1;
+    }
+    FleetOutcome { vehicles, confusion, decos, obd, class_counts }
+}
+
+fn run_vehicle(
+    spec: &ClusterSpec,
+    cfg: FleetConfig,
+    seeds: SeedSource,
+    index: u64,
+    params: EngineParams,
+) -> VehicleOutcome {
+    let (vspec, faults) = decos_faults::campaign::sample_mixed_fault(spec, seeds, index);
+    let truth_fru = faults[0].target;
+    let truth_class = faults[0].class();
+    let campaign = Campaign {
+        spec: vspec,
+        faults,
+        accel: cfg.accel,
+        rounds: cfg.rounds,
+        seed: seeds.child(index).master(),
+    };
+    let out = run_campaign_with_params(&campaign, params, |_, _, _| {}).expect("sampled spec is valid");
+
+    let decos_actions = out.report.actions();
+    let decos_class = out.report.verdict_of(truth_fru).and_then(|v| v.class);
+    let obd_actions: Vec<(FruRef, MaintenanceAction)> = out
+        .obd
+        .replacements
+        .iter()
+        .map(|n| (FruRef::Component(*n), MaintenanceAction::ReplaceComponent))
+        .collect();
+
+    VehicleOutcome {
+        truth_class,
+        truth_fru,
+        decos_class,
+        decos: score_case(truth_fru, truth_class, &decos_actions),
+        obd: score_case(truth_fru, truth_class, &obd_actions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decos_platform::fig10;
+
+    #[test]
+    fn small_fleet_aggregates() {
+        let cfg = FleetConfig { vehicles: 8, rounds: 1200, accel: 10.0, seed: 77 };
+        let out = run_fleet(&fig10::reference_spec(), cfg);
+        assert_eq!(out.vehicles.len(), 8);
+        assert_eq!(out.decos.cases, 8);
+        assert_eq!(out.obd.cases, 8);
+        assert_eq!(out.confusion.total(), 8);
+        assert!(!out.class_counts.is_empty());
+    }
+
+    #[test]
+    fn fleet_is_deterministic_despite_parallelism() {
+        let cfg = FleetConfig { vehicles: 6, rounds: 800, accel: 10.0, seed: 5 };
+        let a = run_fleet(&fig10::reference_spec(), cfg);
+        let b = run_fleet(&fig10::reference_spec(), cfg);
+        for (x, y) in a.vehicles.iter().zip(&b.vehicles) {
+            assert_eq!(x.truth_class, y.truth_class);
+            assert_eq!(x.decos_class, y.decos_class);
+            assert_eq!(x.decos, y.decos);
+            assert_eq!(x.obd, y.obd);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # decos — reproduction of the DECOS integrated diagnostic architecture
+//!
+//! Facade crate bundling the full stack of the reproduction of
+//! *"A Maintenance-Oriented Fault Model for the DECOS Integrated Diagnostic
+//! Architecture"* (Peti, Obermaisser, Ademaj, Kopetz — IPPS 2005):
+//!
+//! * [`sim`] — deterministic discrete-event kernel, seeded RNG streams,
+//!   streaming statistics;
+//! * [`timebase`] — local clocks, fault-tolerant clock sync, sparse time;
+//! * [`ttnet`] — the time-triggered core network (TDMA, guardians,
+//!   membership);
+//! * [`vnet`] — virtual networks (ports, bounded queues, configuration);
+//! * [`platform`] — components, jobs, DASs, TMR, the Fig. 10 cluster;
+//! * [`faults`] — the maintenance-oriented fault taxonomy + injection;
+//! * [`reliability`] — FIT rates, Weibull/bathtub models, α-count;
+//! * [`diagnosis`] — symptoms, ONAs, trust levels, maintenance advice, and
+//!   the OBD baseline;
+//! * [`runner`] / [`fleet`] — campaign and rayon-parallel fleet drivers;
+//! * [`workshop`] — the closed maintenance loop (§V): actions mutate the
+//!   fault set; repeat-visit and NFF economics fall out.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use decos::prelude::*;
+//!
+//! // A steer-by-wire-ish cluster with a wearing-out component 1.
+//! let campaign = Campaign::reference(
+//!     decos::faults::campaign::wearout_campaign(NodeId(1), 500.0, 200_000.0),
+//!     1.0,     // real-time rates
+//!     2_000,   // TDMA rounds (8 s at 4 ms/round)
+//!     42,      // master seed
+//! );
+//! let outcome = run_campaign(&campaign).unwrap();
+//! let verdict = outcome
+//!     .report
+//!     .verdict_of(FruRef::Component(NodeId(1)))
+//!     .expect("the degrading component is assessed");
+//! assert!(verdict.trust < 1.0);
+//! ```
+
+pub use decos_diagnosis as diagnosis;
+pub use decos_faults as faults;
+pub use decos_platform as platform;
+pub use decos_reliability as reliability;
+pub use decos_sim as sim;
+pub use decos_timebase as timebase;
+pub use decos_ttnet as ttnet;
+pub use decos_vnet as vnet;
+
+pub mod fleet;
+pub mod runner;
+pub mod workshop;
+
+/// The working set most users need.
+pub mod prelude {
+    pub use crate::fleet::{run_fleet, run_fleet_with_params, FleetConfig, FleetOutcome};
+    pub use crate::workshop::{service_loop, CostModel, ServiceHistory, ServiceVisit, Strategy};
+    pub use crate::runner::{
+        run_campaign, run_campaign_with, run_campaign_with_params, trust_trajectories, Campaign,
+        CampaignOutcome,
+    };
+    pub use decos_diagnosis::{
+        DiagnosticEngine, DiagnosticReport, EngineParams, FruVerdict, ObdDiagnosis, ObdParams,
+        ObdReport,
+    };
+    pub use decos_faults::{FaultClass, FaultKind, FaultSpec, FruRef, MaintenanceAction};
+    pub use decos_platform::fig10;
+    pub use decos_platform::{ClusterSim, ClusterSpec, JobId, NodeId, Position};
+    pub use decos_sim::{SimDuration, SimTime};
+}

@@ -1,0 +1,186 @@
+//! The virtual diagnostic network.
+//!
+//! Symptom messages are "disseminated via a dedicated virtual diagnostic
+//! network" (§II-D) — an encapsulated overlay with a fixed bandwidth share,
+//! so diagnosis can never perturb application traffic (no probe effect).
+//! The flip side of encapsulation is a *bounded* symptom budget: during a
+//! massive disturbance more symptoms can be raised than the network can
+//! carry per round. This model enforces the budget, prioritizes rarer
+//! symptom classes over floods of communication errors, and counts what was
+//! dropped — the diagnostic DAS downstream must remain sound under symptom
+//! loss.
+
+use crate::symptom::{Symptom, SymptomKind};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Delivery statistics of the diagnostic network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisseminationStats {
+    /// Symptoms offered by the detectors.
+    pub offered: u64,
+    /// Symptoms delivered to the diagnostic DAS.
+    pub delivered: u64,
+    /// Symptoms dropped for lack of bandwidth.
+    pub dropped: u64,
+}
+
+/// The bounded symptom transport.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagnosticNetwork {
+    /// Symptom messages carried per round (the bandwidth share of the
+    /// diagnostic virtual network).
+    capacity_per_round: usize,
+    /// Queued symptoms awaiting the next round (one-round latency).
+    queue: VecDeque<Symptom>,
+    /// Queue bound (a few rounds of backlog).
+    queue_depth: usize,
+    stats: DisseminationStats,
+}
+
+impl DiagnosticNetwork {
+    /// Creates a transport carrying `capacity_per_round` symptoms per round
+    /// with a backlog bound of `queue_depth`.
+    pub fn new(capacity_per_round: usize, queue_depth: usize) -> Self {
+        assert!(capacity_per_round > 0 && queue_depth >= capacity_per_round);
+        DiagnosticNetwork {
+            capacity_per_round,
+            queue: VecDeque::with_capacity(queue_depth),
+            queue_depth,
+            stats: DisseminationStats::default(),
+        }
+    }
+
+    /// A generous default: 64 symptoms per round.
+    pub fn generous() -> Self {
+        DiagnosticNetwork::new(64, 512)
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> DisseminationStats {
+        self.stats
+    }
+
+    /// Priority of a symptom class when the queue is contended: rarer,
+    /// higher-information symptoms win over comm-error floods.
+    fn priority(kind: &SymptomKind) -> u8 {
+        match kind {
+            SymptomKind::SyncLoss
+            | SymptomKind::MembershipDeparture
+            | SymptomKind::ReplicaDivergence { .. } => 0,
+            SymptomKind::QueueOverflow { .. }
+            | SymptomKind::ValueViolation { .. }
+            | SymptomKind::MissedMessage { .. } => 1,
+            SymptomKind::ValueDrift { .. } => 2,
+            SymptomKind::Omission
+            | SymptomKind::InvalidCrc
+            | SymptomKind::TimingViolation { .. } => 3,
+        }
+    }
+
+    /// Offers the symptoms detected in one slot.
+    pub fn offer(&mut self, symptoms: &[Symptom]) {
+        self.stats.offered += symptoms.len() as u64;
+        for s in symptoms {
+            if self.queue.len() >= self.queue_depth {
+                // Evict the lowest-priority queued symptom if the newcomer
+                // outranks it; otherwise drop the newcomer.
+                if let Some((idx, _)) = self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, q)| Self::priority(&q.kind))
+                {
+                    if Self::priority(&s.kind) < Self::priority(&self.queue[idx].kind) {
+                        self.queue.remove(idx);
+                        self.queue.push_back(*s);
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                }
+                self.stats.dropped += 1;
+            } else {
+                self.queue.push_back(*s);
+            }
+        }
+    }
+
+    /// Delivers up to one round's bandwidth worth of symptoms to the
+    /// diagnostic DAS.
+    pub fn deliver_round(&mut self) -> Vec<Symptom> {
+        let n = self.capacity_per_round.min(self.queue.len());
+        let out: Vec<Symptom> = self.queue.drain(..n).collect();
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+
+    /// Current backlog.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symptom::Subject;
+    use decos_platform::NodeId;
+    use decos_sim::SimTime;
+    use decos_timebase::LatticePoint;
+
+    fn sym(kind: SymptomKind) -> Symptom {
+        Symptom {
+            at: SimTime::ZERO,
+            point: LatticePoint(0),
+            observer: NodeId(0),
+            subject: Subject::Component(NodeId(1)),
+            kind,
+        }
+    }
+
+    #[test]
+    fn delivery_is_fifo_within_budget() {
+        let mut net = DiagnosticNetwork::new(2, 8);
+        net.offer(&[sym(SymptomKind::Omission), sym(SymptomKind::SyncLoss), sym(SymptomKind::Omission)]);
+        let got = net.deliver_round();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind, SymptomKind::Omission);
+        assert_eq!(net.backlog(), 1);
+        assert_eq!(net.deliver_round().len(), 1);
+        assert_eq!(net.stats().delivered, 3);
+        assert_eq!(net.stats().dropped, 0);
+    }
+
+    #[test]
+    fn flood_drops_low_priority_first() {
+        let mut net = DiagnosticNetwork::new(4, 4);
+        // Fill with comm-error flood.
+        net.offer(&[sym(SymptomKind::Omission); 4]);
+        // A high-priority symptom arrives into the full queue.
+        net.offer(&[sym(SymptomKind::SyncLoss)]);
+        let got = net.deliver_round();
+        assert!(got.iter().any(|s| s.kind == SymptomKind::SyncLoss), "sync loss must survive");
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn low_priority_newcomer_dropped_when_full_of_high() {
+        let mut net = DiagnosticNetwork::new(2, 2);
+        net.offer(&[sym(SymptomKind::SyncLoss), sym(SymptomKind::SyncLoss)]);
+        net.offer(&[sym(SymptomKind::Omission)]);
+        let got = net.deliver_round();
+        assert!(got.iter().all(|s| s.kind == SymptomKind::SyncLoss));
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = DiagnosticNetwork::new(2, 4);
+        net.offer(&[sym(SymptomKind::Omission); 6]);
+        assert_eq!(net.stats().offered, 6);
+        assert_eq!(net.stats().dropped, 2);
+        net.deliver_round();
+        net.deliver_round();
+        assert_eq!(net.stats().delivered, 4);
+    }
+}

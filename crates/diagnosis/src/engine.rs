@@ -1,0 +1,233 @@
+//! The diagnostic engine — the encapsulated diagnostic DAS.
+//!
+//! Wires the pipeline of §II-D end to end:
+//! detection → dissemination over the diagnostic virtual network →
+//! distributed state → ONA evaluation → trust assessment → maintenance
+//! advice. One [`DiagnosticEngine`] instance is the diagnostic DAS of one
+//! cluster; feed it every [`SlotRecord`] and ask for the report.
+
+use crate::advisor::{AdvisorParams, DiagnosticReport, MaintenanceAdvisor};
+use crate::detectors::SymptomDetectors;
+use crate::dissemination::{DiagnosticNetwork, DisseminationStats};
+use crate::patterns::{OnaBank, OnaParams, PatternMatch};
+use crate::state::DistributedState;
+use crate::trust::{FruAssessor, TrustParams};
+use decos_faults::FruRef;
+use decos_platform::{ClusterSim, SlotRecord};
+use decos_sim::time::SimDuration;
+
+/// Aggregate configuration of the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineParams {
+    /// ONA bank parameters.
+    pub ona: OnaParams,
+    /// Trust dynamics.
+    pub trust: TrustParams,
+    /// Advisor thresholds.
+    pub advisor: AdvisorParams,
+    /// Short-term symptom history bound, rounds.
+    pub horizon_rounds: usize,
+    /// Long-horizon trend bucket width.
+    pub trend_window: SimDuration,
+    /// Diagnostic-network bandwidth, symptoms per round.
+    pub net_capacity_per_round: usize,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            ona: OnaParams::default(),
+            trust: TrustParams::default(),
+            advisor: AdvisorParams::default(),
+            horizon_rounds: 512,
+            trend_window: SimDuration::from_millis(400),
+            net_capacity_per_round: 64,
+        }
+    }
+}
+
+/// The diagnostic DAS.
+pub struct DiagnosticEngine {
+    detectors: SymptomDetectors,
+    network: DiagnosticNetwork,
+    state: DistributedState,
+    bank: OnaBank,
+    trust: FruAssessor,
+    advisor: MaintenanceAdvisor,
+    scratch: Vec<crate::symptom::Symptom>,
+    slots_per_round: u16,
+    slot_in_round: u16,
+    matches_last_round: Vec<PatternMatch>,
+}
+
+impl DiagnosticEngine {
+    /// Builds the engine for a cluster.
+    pub fn new(sim: &ClusterSim, params: EngineParams) -> Self {
+        DiagnosticEngine {
+            detectors: SymptomDetectors::new(sim),
+            network: DiagnosticNetwork::new(
+                params.net_capacity_per_round,
+                params.net_capacity_per_round * 8,
+            ),
+            state: DistributedState::new(params.horizon_rounds, params.trend_window),
+            bank: OnaBank::new(sim, params.ona),
+            trust: FruAssessor::new(params.trust),
+            advisor: MaintenanceAdvisor::with_hosts(
+                params.advisor,
+                sim.spec().jobs.iter().map(|j| (j.id, j.host)).collect(),
+            ),
+            scratch: Vec::new(),
+            slots_per_round: sim.schedule().slots_per_round(),
+            slot_in_round: 0,
+            matches_last_round: Vec::new(),
+        }
+    }
+
+    /// Observes one slot. Call for every record, in order.
+    pub fn observe_slot(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
+        self.scratch.clear();
+        self.detectors.detect(sim, rec, &mut self.scratch);
+        self.network.offer(&self.scratch);
+        self.slot_in_round += 1;
+        if self.slot_in_round >= self.slots_per_round {
+            self.slot_in_round = 0;
+            let delivered = self.network.deliver_round();
+            let now = rec.start;
+            self.state.ingest_round(now, delivered);
+            let matches = self.bank.evaluate_round(now, &self.state);
+            self.trust.update_round(&matches);
+            self.advisor.ingest(&matches);
+            self.matches_last_round = matches;
+        }
+    }
+
+    /// Pattern matches of the most recently completed round.
+    pub fn last_matches(&self) -> &[PatternMatch] {
+        &self.matches_last_round
+    }
+
+    /// Current trust level of a FRU (Fig. 9 trajectory sampling).
+    pub fn trust_of(&self, fru: FruRef) -> f64 {
+        self.trust.trust(fru)
+    }
+
+    /// The distributed state (read access for experiments).
+    pub fn state(&self) -> &DistributedState {
+        &self.state
+    }
+
+    /// The ONA bank (read access for experiments, e.g. α values).
+    pub fn bank(&self) -> &OnaBank {
+        &self.bank
+    }
+
+    /// Diagnostic-network delivery statistics.
+    pub fn dissemination_stats(&self) -> DisseminationStats {
+        self.network.stats()
+    }
+
+    /// The campaign report.
+    pub fn report(&self) -> DiagnosticReport {
+        self.advisor.report(&self.trust)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decos_faults::{FaultClass, FaultEnvironment, FaultSpec, MaintenanceAction};
+    use decos_platform::fig10;
+    use decos_platform::{ClusterSim, NodeId};
+    use decos_sim::SeedSource;
+
+    fn run_engine(
+        spec: decos_platform::ClusterSpec,
+        faults: Vec<FaultSpec>,
+        accel: f64,
+        rounds: u64,
+    ) -> (DiagnosticEngine, ClusterSim) {
+        let mut env = FaultEnvironment::for_cluster(faults, &spec, accel, SeedSource::new(17));
+        let mut sim = ClusterSim::new(spec, 23).unwrap();
+        let mut eng = DiagnosticEngine::new(&sim, EngineParams::default());
+        for _ in 0..rounds * 4 {
+            let rec = sim.step_slot(&mut env);
+            eng.observe_slot(&sim, &rec);
+        }
+        (eng, sim)
+    }
+
+    #[test]
+    fn healthy_cluster_full_trust_no_actions() {
+        let (eng, _) = run_engine(fig10::reference_spec(), vec![], 1.0, 500);
+        let rep = eng.report();
+        assert!(rep.verdicts.is_empty());
+        assert!(rep.actions().is_empty());
+        assert_eq!(eng.trust_of(decos_faults::FruRef::Component(NodeId(0))), 1.0);
+    }
+
+    #[test]
+    fn end_to_end_wearout_yields_replacement() {
+        let faults = decos_faults::campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0);
+        let (eng, _) = run_engine(fig10::reference_spec(), faults, 1.0, 15_000);
+        let rep = eng.report();
+        let fru = decos_faults::FruRef::Component(NodeId(1));
+        let v = rep.verdict_of(fru).expect("worn component must be assessed");
+        assert_eq!(v.class, Some(FaultClass::ComponentInternal), "verdict: {v:?}");
+        assert_eq!(v.action, Some(MaintenanceAction::ReplaceComponent));
+        assert!(eng.trust_of(fru) < 0.6, "trust {} must degrade", eng.trust_of(fru));
+    }
+
+    #[test]
+    fn end_to_end_emi_yields_no_action() {
+        use decos_faults::FaultKind;
+        use decos_platform::Position;
+        let faults = vec![FaultSpec {
+            id: 1,
+            kind: FaultKind::EmiBurst {
+                rate_per_hour: 4000.0,
+                duration_ms: 10.0,
+                center: Position { x: 0.2, y: 0.1 },
+                radius_m: 1.0,
+            },
+            target: decos_faults::FruRef::Component(NodeId(0)),
+            onset: decos_sim::SimTime::ZERO,
+        }];
+        let (eng, _) = run_engine(fig10::reference_spec(), faults, 10.0, 6000);
+        let rep = eng.report();
+        // No removal recommended for any component.
+        assert!(
+            !rep.actions()
+                .iter()
+                .any(|(_, a)| *a == MaintenanceAction::ReplaceComponent),
+            "EMI must not cause removals: {:?}",
+            rep.actions()
+        );
+        // Where a verdict exists, it is external.
+        for v in &rep.verdicts {
+            if let Some(c) = v.class {
+                assert_eq!(c, FaultClass::ComponentExternal, "verdict {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_misconfiguration_yields_config_update() {
+        let (spec, _) =
+            decos_faults::campaign::misconfiguration_campaign(fig10::reference_spec(), 16);
+        let (eng, _) = run_engine(spec, vec![], 1.0, 4000);
+        let rep = eng.report();
+        let fru = decos_faults::FruRef::Job(fig10::jobs::C3);
+        let v = rep.verdict_of(fru).expect("consumer must be assessed");
+        assert_eq!(v.action, Some(MaintenanceAction::UpdateConfiguration), "verdict {v:?}");
+    }
+
+    #[test]
+    fn dissemination_stats_track_flow() {
+        let faults = decos_faults::campaign::connector_campaign(NodeId(2), 2000.0);
+        let (eng, _) = run_engine(fig10::reference_spec(), faults, 10.0, 2000);
+        let stats = eng.dissemination_stats();
+        assert!(stats.offered > 0);
+        assert!(stats.delivered > 0);
+        assert!(stats.delivered <= stats.offered);
+    }
+}

@@ -1,0 +1,757 @@
+//! Out-of-Norm Assertions — fault patterns in time, value and space.
+//!
+//! §V-A: "An ONA is a predicate on the distributed system state that
+//! encodes a fault pattern in the value, time and space domain." The
+//! [`OnaBank`] evaluates all patterns once per TDMA round against the
+//! [`DistributedState`] and emits [`PatternMatch`]es.
+//!
+//! The implemented discrimination logic follows Fig. 8 and §V-C:
+//!
+//! | evidence | dimension signature | verdict |
+//! |---|---|---|
+//! | CRC-dominant errors touching ≥ 2 spatially close components within a small Δ | time: burst · space: proximity zone · value: multi-bit | **massive transient** → component external |
+//! | omission-dominant errors where one component is both bad *subject* and bad *observer* | time: arbitrary · space: one stub, both directions · value: omissions | **connector** → component borderline |
+//! | errors about a single subject, recurring (α-count) or with rising frequency/deviation (trend) | time: recurring/increasing · space: same location · value: any | **internal** → component internal (wearout flagged) |
+//! | errors about a single subject, isolated (α below threshold) | time: isolated · space: anywhere | **environmental** → component external |
+//! | repeated sync losses / timing violations of one component | time domain | **oscillator** → component internal |
+//! | recurring queue overflows while senders conform to their LIF | — | **configuration** → job borderline |
+//! | value/omission symptoms of ≥ 2 jobs of different DASs co-hosted on one component | space: within one component | job external ⇒ **component internal** |
+//! | value symptoms confined to a single job | — | **job inherent**, sub-divided by value shape (persistent/drift ⇒ transducer, intermittent ⇒ software) |
+
+use crate::state::DistributedState;
+use crate::symptom::SymptomKind;
+use decos_faults::{FaultClass, FruRef};
+use decos_platform::{ClusterSim, DasId, JobId, NodeId, Position};
+use decos_reliability::{AlphaCount, AlphaParams};
+use decos_sim::stats::ols_slope;
+use decos_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A triggered fault pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternMatch {
+    /// Trigger instant.
+    pub at: SimTime,
+    /// The FRU the pattern points at.
+    pub fru: FruRef,
+    /// The maintenance-oriented fault class the pattern indicates.
+    pub class: FaultClass,
+    /// Stable pattern name (which ONA fired).
+    pub pattern: &'static str,
+    /// Heuristic confidence in (0, 1].
+    pub confidence: f64,
+}
+
+/// Tunable parameters of the ONA bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnaParams {
+    /// Spatial proximity radius for the massive-transient pattern, metres.
+    pub zone_radius_m: f64,
+    /// Correlation window Δ, in rounds.
+    pub corr_window_rounds: usize,
+    /// Judgement-interval length for the α-counts, in rounds.
+    pub judgement_rounds: usize,
+    /// α-count parameters for internal-vs-external discrimination.
+    pub alpha: AlphaParams,
+    /// Minimum trend-window count before the wearout trend is trusted.
+    pub wearout_min_windows: usize,
+    /// Minimum positive slope (events/hour per window) for wearout.
+    pub wearout_slope_min: f64,
+    /// Overflow windows before the configuration pattern fires.
+    pub overflow_min_windows: u64,
+    /// Job-level symptom events before the job-inherent pattern fires.
+    pub job_min_events: u64,
+    /// Violation duty cycle (fraction of recent rounds) above which a
+    /// job-inherent fault is judged *persistent* (stuck/dead transducer).
+    pub stuck_duty: f64,
+    /// Recent-round window for job-level duty/trend analysis.
+    pub job_window_rounds: usize,
+    /// Ablation knob: evaluate the spatial massive-transient ONA.
+    pub enable_spatial: bool,
+    /// Ablation knob: evaluate the co-host correlation ONA.
+    pub enable_cohost: bool,
+}
+
+impl Default for OnaParams {
+    fn default() -> Self {
+        OnaParams {
+            zone_radius_m: 1.5,
+            corr_window_rounds: 3,
+            judgement_rounds: 50,
+            alpha: AlphaParams { decay: 0.95, threshold: 2.5 },
+            wearout_min_windows: 4,
+            wearout_slope_min: 1.0,
+            overflow_min_windows: 5,
+            job_min_events: 3,
+            stuck_duty: 0.9,
+            job_window_rounds: 200,
+            enable_spatial: true,
+            enable_cohost: true,
+        }
+    }
+}
+
+/// Per-job static facts the bank needs.
+#[derive(Debug, Clone)]
+struct JobFacts {
+    host: NodeId,
+    das: DasId,
+    /// Jobs whose outputs this job consumes (root-cause suppression: a
+    /// consumer failing because its producer is silent is not itself
+    /// faulty).
+    upstream: Vec<JobId>,
+}
+
+/// The ONA bank: all pattern evaluators plus their persistent evidence.
+pub struct OnaBank {
+    params: OnaParams,
+    positions: Vec<Position>,
+    jobs: BTreeMap<JobId, JobFacts>,
+    /// α-count per component for tx-side (subject) error recurrence.
+    alpha_subject: BTreeMap<NodeId, AlphaCount>,
+    /// α-count per component for stub (both-direction) error recurrence.
+    alpha_stub: BTreeMap<NodeId, AlphaCount>,
+    /// α-count per component for sync-loss recurrence.
+    alpha_sync: BTreeMap<NodeId, AlphaCount>,
+    /// Whether each component accumulated subject-side errors in the
+    /// current judgement interval.
+    window_subject_fail: BTreeMap<NodeId, bool>,
+    window_stub_fail: BTreeMap<NodeId, bool>,
+    window_sync_fail: BTreeMap<NodeId, bool>,
+    /// Last seen sync-loss totals (delta detection).
+    prev_sync: BTreeMap<NodeId, u64>,
+    /// Per-job overflow-window accounting.
+    prev_overflow: BTreeMap<JobId, u64>,
+    overflow_windows: BTreeMap<JobId, u64>,
+    /// Components with comm-level events in the recent window, with the
+    /// round they were last seen (job-level symptoms of jobs hosted there
+    /// are explained by the comm fault and suppressed).
+    comm_affected: BTreeMap<NodeId, u64>,
+    /// TDMA round length in seconds (duty-cycle normalization).
+    round_secs: f64,
+    rounds: u64,
+}
+
+impl OnaBank {
+    /// Builds the bank for a cluster.
+    pub fn new(sim: &ClusterSim, params: OnaParams) -> Self {
+        let positions = sim.spec().components.iter().map(|c| c.position).collect();
+        // Producer lookup by output port for upstream edges.
+        let producer_of: BTreeMap<decos_vnet::PortId, JobId> = sim
+            .spec()
+            .jobs
+            .iter()
+            .filter_map(|j| j.behavior.output_port().map(|p| (p, j.id)))
+            .collect();
+        let jobs = sim
+            .spec()
+            .jobs
+            .iter()
+            .map(|j| {
+                let input_ports: Vec<decos_vnet::PortId> = match &j.behavior {
+                    decos_platform::JobBehavior::Controller { input_src, .. }
+                    | decos_platform::JobBehavior::Gateway { input_src, .. } => vec![*input_src],
+                    decos_platform::JobBehavior::TmrVoter { inputs, .. } => inputs.to_vec(),
+                    decos_platform::JobBehavior::EventConsumer { sources, .. } => sources.clone(),
+                    _ => Vec::new(),
+                };
+                let upstream: Vec<JobId> =
+                    input_ports.iter().filter_map(|p| producer_of.get(p).copied()).collect();
+                (j.id, JobFacts { host: j.host, das: j.das, upstream })
+            })
+            .collect();
+        OnaBank {
+            params,
+            positions,
+            jobs,
+            alpha_subject: BTreeMap::new(),
+            alpha_stub: BTreeMap::new(),
+            alpha_sync: BTreeMap::new(),
+            window_subject_fail: BTreeMap::new(),
+            window_stub_fail: BTreeMap::new(),
+            window_sync_fail: BTreeMap::new(),
+            prev_sync: BTreeMap::new(),
+            prev_overflow: BTreeMap::new(),
+            overflow_windows: BTreeMap::new(),
+            comm_affected: BTreeMap::new(),
+            round_secs: sim.round_len().as_secs_f64(),
+            rounds: 0,
+        }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &OnaParams {
+        &self.params
+    }
+
+    /// α value accumulated against a component subject (experiment E11
+    /// reads this directly).
+    pub fn subject_alpha(&self, n: NodeId) -> f64 {
+        self.alpha_subject.get(&n).map(|a| a.alpha()).unwrap_or(0.0)
+    }
+
+    /// Evaluates all ONAs for the round that just completed.
+    pub fn evaluate_round(&mut self, now: SimTime, ds: &DistributedState) -> Vec<PatternMatch> {
+        self.rounds += 1;
+        let mut out = Vec::new();
+        self.comm_patterns(now, ds, &mut out);
+        self.sync_pattern(now, ds, &mut out);
+        self.overflow_pattern(now, ds, &mut out);
+        self.job_patterns(now, ds, &mut out);
+        out
+    }
+
+    // ---------------------------------------------------------------------
+    // Communication-level patterns (massive transient / connector /
+    // internal-vs-external).
+    // ---------------------------------------------------------------------
+    fn comm_patterns(&mut self, now: SimTime, ds: &DistributedState, out: &mut Vec<PatternMatch>) {
+        let m = ds.pair_matrix(self.params.corr_window_rounds);
+        let n_comp = self.positions.len();
+
+        // Per-component roles in the window. A *tx event* at c needs the
+        // agreement of (essentially) all other components: source-side
+        // corruption or silence is broadcast, so every operational receiver
+        // sees it. An *rx event* at o needs complaints by o about subjects
+        // that are NOT tx-event subjects — i.e. errors only o can see,
+        // which places the fault on o's receive path.
+        let mut tx_event = vec![false; n_comp];
+        let mut rx_event = vec![false; n_comp];
+        let mut col_om = vec![0u64; n_comp];
+        let mut col_crc = vec![0u64; n_comp];
+        let tx_need = (n_comp - 1).max(1);
+        for c in 0..n_comp {
+            let node = NodeId(c as u16);
+            let (om, crc) = m.col_counts(node);
+            col_om[c] = om;
+            col_crc[c] = crc;
+            tx_event[c] = m.col_breadth(node) >= tx_need;
+        }
+        for o in 0..n_comp {
+            let node = NodeId(o as u16);
+            let observer_specific = m
+                .pairs
+                .keys()
+                .filter(|(obs, subj)| *obs == node && !tx_event[subj.0 as usize])
+                .count();
+            rx_event[o] = observer_specific >= 2.min(n_comp - 1);
+        }
+        let zone: Vec<usize> = (0..n_comp).filter(|&c| tx_event[c] || rx_event[c]).collect();
+        for &c in &zone {
+            self.comm_affected.insert(NodeId(c as u16), self.rounds);
+        }
+        if zone.is_empty() {
+            self.flush_judgement_window(now);
+            return;
+        }
+
+        let total_om: u64 = col_om.iter().sum();
+        let total_crc: u64 = col_crc.iter().sum();
+        let crc_dominant = total_crc > total_om;
+
+        // Massive transient: ≥ 2 affected components, spatially clustered,
+        // corruption-dominant (multiple bit flips).
+        let clustered = self.params.enable_spatial
+            && zone.len() >= 2
+            && zone.iter().all(|&a| {
+                zone.iter().all(|&b| {
+                    self.positions[a].distance(&self.positions[b]) <= self.params.zone_radius_m
+                })
+            });
+        if clustered && crc_dominant {
+            for &c in &zone {
+                out.push(PatternMatch {
+                    at: now,
+                    fru: FruRef::Component(NodeId(c as u16)),
+                    class: FaultClass::ComponentExternal,
+                    pattern: "massive-transient",
+                    confidence: 0.9,
+                });
+            }
+            self.flush_judgement_window(now);
+            return;
+        }
+
+        // Per-component analysis.
+        for &c in &zone {
+            let node = NodeId(c as u16);
+            let om_dominant = col_om[c] >= col_crc[c];
+            if tx_event[c] && rx_event[c] && om_dominant {
+                // Stub fault: the component neither reaches the bus nor
+                // hears it — connector.
+                *self.window_stub_fail.entry(node).or_insert(false) = true;
+                let declared =
+                    self.alpha_stub.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                out.push(PatternMatch {
+                    at: now,
+                    fru: FruRef::Component(node),
+                    class: FaultClass::ComponentBorderline,
+                    pattern: "connector",
+                    confidence: if declared { 0.9 } else { 0.55 },
+                });
+            } else if tx_event[c] {
+                *self.window_subject_fail.entry(node).or_insert(false) = true;
+                let declared =
+                    self.alpha_subject.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                let trend = ds.subject_err_trend(node).unwrap_or(0.0);
+                let windows = ds.subject_err_windows(node).map(|w| w.len()).unwrap_or(0);
+                let wearing = windows >= self.params.wearout_min_windows
+                    && trend >= self.params.wearout_slope_min;
+                if declared || wearing {
+                    out.push(PatternMatch {
+                        at: now,
+                        fru: FruRef::Component(node),
+                        class: FaultClass::ComponentInternal,
+                        pattern: if wearing { "wearout" } else { "recurring-internal" },
+                        confidence: if declared && wearing { 0.95 } else { 0.8 },
+                    });
+                } else {
+                    // Isolated transient at one location: judged
+                    // environmental until recurrence says otherwise.
+                    out.push(PatternMatch {
+                        at: now,
+                        fru: FruRef::Component(node),
+                        class: FaultClass::ComponentExternal,
+                        pattern: "isolated-transient",
+                        confidence: 0.4,
+                    });
+                }
+            } else if rx_event[c] && om_dominant {
+                // Receive path only: connector stub, weaker evidence.
+                *self.window_stub_fail.entry(node).or_insert(false) = true;
+                out.push(PatternMatch {
+                    at: now,
+                    fru: FruRef::Component(node),
+                    class: FaultClass::ComponentBorderline,
+                    pattern: "connector-rx",
+                    confidence: 0.45,
+                });
+            }
+        }
+        self.flush_judgement_window(now);
+    }
+
+    /// Feeds the per-window failure flags into the α-counts at judgement-
+    /// interval boundaries.
+    fn flush_judgement_window(&mut self, _now: SimTime) {
+        if self.rounds % self.params.judgement_rounds as u64 != 0 {
+            return;
+        }
+        for c in 0..self.positions.len() {
+            let node = NodeId(c as u16);
+            let sf = std::mem::take(self.window_subject_fail.entry(node).or_insert(false));
+            self.alpha_subject
+                .entry(node)
+                .or_insert_with(|| AlphaCount::new(self.params.alpha))
+                .observe(sf);
+            let cf = std::mem::take(self.window_stub_fail.entry(node).or_insert(false));
+            self.alpha_stub
+                .entry(node)
+                .or_insert_with(|| AlphaCount::new(self.params.alpha))
+                .observe(cf);
+            let yf = std::mem::take(self.window_sync_fail.entry(node).or_insert(false));
+            self.alpha_sync
+                .entry(node)
+                .or_insert_with(|| AlphaCount::new(self.params.alpha))
+                .observe(yf);
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Oscillator pattern: sync losses / recurring timing violations.
+    // ---------------------------------------------------------------------
+    fn sync_pattern(&mut self, now: SimTime, ds: &DistributedState, out: &mut Vec<PatternMatch>) {
+        for c in 0..self.positions.len() {
+            let node = NodeId(c as u16);
+            let total = ds.comp_count(node, "sync-loss");
+            let prev = self.prev_sync.entry(node).or_insert(0);
+            if total > *prev {
+                *prev = total;
+                *self.window_sync_fail.entry(node).or_insert(false) = true;
+                let declared =
+                    self.alpha_sync.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                out.push(PatternMatch {
+                    at: now,
+                    fru: FruRef::Component(node),
+                    class: if declared || total >= 3 {
+                        FaultClass::ComponentInternal
+                    } else {
+                        FaultClass::ComponentExternal
+                    },
+                    pattern: "oscillator",
+                    confidence: if total >= 3 { 0.85 } else { 0.4 },
+                });
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Configuration pattern: recurring queue overflows with conforming
+    // senders.
+    // ---------------------------------------------------------------------
+    fn overflow_pattern(&mut self, now: SimTime, ds: &DistributedState, out: &mut Vec<PatternMatch>) {
+        let jobs: Vec<JobId> = ds.symptomatic_jobs().collect();
+        for j in jobs {
+            let total = ds.job_count(j, "queue-overflow");
+            let prev = self.prev_overflow.entry(j).or_insert(0);
+            if total > *prev {
+                *prev = total;
+                let w = self.overflow_windows.entry(j).or_insert(0);
+                *w += 1;
+                if *w >= self.params.overflow_min_windows {
+                    // Senders conform (no value/timing violations recorded
+                    // against any job) — the queue dimensioning is wrong.
+                    let senders_conform = ds.job_count(j, "value-violation") == 0;
+                    if senders_conform {
+                        out.push(PatternMatch {
+                            at: now,
+                            fru: FruRef::Job(j),
+                            class: FaultClass::JobBorderline,
+                            pattern: "configuration",
+                            confidence: (0.5 + 0.05 * *w as f64).min(0.9),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Job-level patterns: co-host correlation and job-inherent analysis.
+    // ---------------------------------------------------------------------
+    fn job_patterns(&mut self, now: SimTime, ds: &DistributedState, out: &mut Vec<PatternMatch>) {
+        // Gather jobs with *recent* job-level symptoms.
+        let window = self.params.corr_window_rounds.max(8);
+        let mut recent_jobs: BTreeMap<JobId, u64> = BTreeMap::new();
+        for s in ds.recent_symptoms(window) {
+            if let crate::symptom::Subject::Job(j) = s.subject {
+                match s.kind {
+                    SymptomKind::ValueViolation { .. }
+                    | SymptomKind::MissedMessage { .. }
+                    | SymptomKind::ReplicaDivergence { .. } => {
+                        *recent_jobs.entry(j).or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if recent_jobs.is_empty() {
+            return;
+        }
+
+        // Co-host correlation: ≥ 2 symptomatic jobs of *different DASs* on
+        // one component ⇒ the shared hardware is the cause (§V-C).
+        let mut by_host: BTreeMap<NodeId, Vec<JobId>> = BTreeMap::new();
+        for j in recent_jobs.keys() {
+            if let Some(f) = self.jobs.get(j) {
+                by_host.entry(f.host).or_default().push(*j);
+            }
+        }
+        let mut cohost_hosts: Vec<NodeId> = Vec::new();
+        for (host, jobs) in &by_host {
+            if !self.params.enable_cohost {
+                break;
+            }
+            let dases: std::collections::BTreeSet<DasId> =
+                jobs.iter().filter_map(|j| self.jobs.get(j).map(|f| f.das)).collect();
+            if jobs.len() >= 2 && dases.len() >= 2 {
+                cohost_hosts.push(*host);
+                out.push(PatternMatch {
+                    at: now,
+                    fru: FruRef::Component(*host),
+                    class: FaultClass::ComponentInternal,
+                    pattern: "cohost-correlation",
+                    confidence: 0.85,
+                });
+            }
+        }
+
+        // Job-inherent analysis for jobs not explained by their host or by
+        // a failing upstream producer (root-cause suppression: within a
+        // DAS, fault effects propagate downstream).
+        let symptomatic: Vec<JobId> = recent_jobs.keys().copied().collect();
+        for (j, _) in recent_jobs.clone() {
+            let facts = match self.jobs.get(&j) {
+                Some(f) => f.clone(),
+                None => continue,
+            };
+            if cohost_hosts.contains(&facts.host) {
+                continue;
+            }
+            if facts.upstream.iter().any(|u| symptomatic.contains(u)) {
+                continue;
+            }
+            // A comm-level problem at (or recently at) the hosting
+            // component — or at a host of an upstream producer — explains
+            // job-level anomalies without blaming the job.
+            let comm_window = 8;
+            let comm_recent = |n: &NodeId| {
+                self.comm_affected.get(n).is_some_and(|r| self.rounds - r <= comm_window)
+            };
+            if comm_recent(&facts.host)
+                || facts.upstream.iter().any(|u| {
+                    self.jobs.get(u).is_some_and(|f| comm_recent(&f.host))
+                })
+            {
+                continue;
+            }
+            let events = ds.job_count(j, "value-violation")
+                + ds.job_count(j, "missed-message")
+                + ds.job_count(j, "replica-divergence");
+            if events < self.params.job_min_events {
+                continue;
+            }
+            let (class, pattern, confidence) = self.classify_job_inherent(j, ds);
+            out.push(PatternMatch { at: now, fru: FruRef::Job(j), class, pattern, confidence });
+        }
+    }
+
+    /// Sub-divides a job-inherent fault by the *shape* of its value-domain
+    /// evidence. The paper notes the two types cannot be distinguished from
+    /// the interface alone with certainty (§III-D); this heuristic encodes
+    /// the shapes that are distinguishable: persistent/stuck and monotone
+    /// drift point at the transducer, intermittent wrongness at software.
+    fn classify_job_inherent(
+        &mut self,
+        j: JobId,
+        ds: &DistributedState,
+    ) -> (FaultClass, &'static str, f64) {
+        // Missed messages every round: dead transducer (or crashed job —
+        // inspect first).
+        let missed = ds.job_count(j, "missed-message");
+        let viol = ds.job_count(j, "value-violation");
+        if missed > viol.max(3) * 3 {
+            return (FaultClass::JobInherentTransducer, "transducer-dead", 0.75);
+        }
+
+        if let Some(series) = ds.job_value_series(j) {
+            let take = series.len().min(self.params.job_window_rounds);
+            let recent: Vec<&(SimTime, f64, bool)> =
+                series.iter().rev().take(take).rev().collect();
+            if recent.len() >= 3 {
+                // Duty cycle: violations per round over the recent span.
+                let span = recent.last().expect("non-empty").0
+                    - recent.first().expect("non-empty").0;
+                let span_rounds = (span.as_secs_f64() / self.round_secs).max(1.0);
+                let viols = recent.iter().filter(|e| e.2).count() as f64;
+                let duty = (viols / span_rounds).min(1.0);
+
+                // Magnitude trend over the *long-horizon* series: drift is
+                // a slow process; judging it on a short window would miss
+                // growth that is obvious over the campaign. Prefer the
+                // violation magnitudes (one consistent unit); fall back to
+                // the drift-proximity series before the first violations.
+                let viol_pts: Vec<(f64, f64)> = series
+                    .iter()
+                    .filter(|e| e.2)
+                    .map(|e| (e.0.as_secs_f64(), e.1))
+                    .collect();
+                let pts: Vec<(f64, f64)> = if viol_pts.len() >= 3 {
+                    viol_pts
+                } else {
+                    series.iter().map(|e| (e.0.as_secs_f64(), e.1)).collect()
+                };
+                let slope = ols_slope(&pts).unwrap_or(0.0);
+                let first_mag = pts.first().expect("non-empty").1;
+                let last_mag = pts.last().expect("non-empty").1;
+                let rising = slope > 0.0 && last_mag > first_mag * 1.2 + 0.1;
+
+                // Variability of the violation magnitudes: a stuck
+                // transducer repeats the *identical* reading (zero spread),
+                // a systematic software transform tracks the varying
+                // computed value.
+                let mags: Vec<f64> = recent.iter().filter(|e| e.2).map(|e| e.1).collect();
+                let spread = if mags.len() >= 2 {
+                    let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+                    (mags.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / mags.len() as f64)
+                        .sqrt()
+                } else {
+                    0.0
+                };
+
+                if rising && duty > 0.3 {
+                    return (FaultClass::JobInherentTransducer, "transducer-drift", 0.8);
+                }
+                if duty >= self.params.stuck_duty && spread < 1e-6 {
+                    // Persistent violation repeating the identical value.
+                    return (FaultClass::JobInherentTransducer, "transducer-stuck", 0.8);
+                }
+                // Intermittent or value-tracking wrongness: software design
+                // fault (Bohrbug if episodic, Heisenbug if sparse).
+                return (FaultClass::JobInherentSoftware, "software-design", 0.7);
+            }
+        }
+        // Divergence-only evidence with nothing else: software-ish, weak.
+        (FaultClass::JobInherentSoftware, "software-design", 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::SymptomDetectors;
+    use decos_faults::{FaultEnvironment, FaultSpec};
+    use decos_platform::fig10;
+    use decos_sim::{SeedSource, SimDuration};
+
+    /// Runs a campaign and returns the pattern matches plus the bank.
+    fn run(faults: Vec<FaultSpec>, accel: f64, rounds: u64) -> Vec<PatternMatch> {
+        run_spec(fig10::reference_spec(), faults, accel, rounds)
+    }
+
+    fn run_spec(
+        spec: decos_platform::ClusterSpec,
+        faults: Vec<FaultSpec>,
+        accel: f64,
+        rounds: u64,
+    ) -> Vec<PatternMatch> {
+        let mut env = FaultEnvironment::for_cluster(faults, &spec, accel, SeedSource::new(21));
+        let mut sim = decos_platform::ClusterSim::new(spec, 77).unwrap();
+        let mut det = SymptomDetectors::new(&sim);
+        let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
+        let mut bank = OnaBank::new(&sim, OnaParams::default());
+        let mut matches = Vec::new();
+        let mut batch = Vec::new();
+        for r in 0..rounds {
+            for _ in 0..4 {
+                let rec = sim.step_slot(&mut env);
+                det.detect(&sim, &rec, &mut batch);
+            }
+            let now = sim.now();
+            ds.ingest_round(now, std::mem::take(&mut batch));
+            matches.extend(bank.evaluate_round(now, &ds));
+            let _ = r;
+        }
+        matches
+    }
+
+    fn dominant_class(matches: &[PatternMatch], fru: FruRef) -> Option<FaultClass> {
+        let mut score: BTreeMap<FaultClass, f64> = BTreeMap::new();
+        for m in matches.iter().filter(|m| m.fru == fru) {
+            *score.entry(m.class).or_insert(0.0) += m.confidence;
+        }
+        score
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(c, _)| c)
+    }
+
+    #[test]
+    fn emi_is_classified_external() {
+        use decos_faults::FaultKind;
+        let faults = vec![FaultSpec {
+            id: 1,
+            kind: FaultKind::EmiBurst {
+                rate_per_hour: 4000.0,
+                duration_ms: 10.0,
+                center: Position { x: 0.2, y: 0.1 },
+                radius_m: 1.0,
+            },
+            target: FruRef::Component(NodeId(0)),
+            onset: SimTime::ZERO,
+        }];
+        let matches = run(faults, 10.0, 4000);
+        assert!(!matches.is_empty());
+        assert!(
+            matches.iter().any(|m| m.pattern == "massive-transient"),
+            "massive transient must fire"
+        );
+        assert_eq!(
+            dominant_class(&matches, FruRef::Component(NodeId(0))),
+            Some(FaultClass::ComponentExternal)
+        );
+    }
+
+    #[test]
+    fn connector_is_classified_borderline() {
+        let faults = decos_faults::campaign::connector_campaign(NodeId(2), 4000.0);
+        let matches = run(faults, 10.0, 4000);
+        assert_eq!(
+            dominant_class(&matches, FruRef::Component(NodeId(2))),
+            Some(FaultClass::ComponentBorderline)
+        );
+    }
+
+    #[test]
+    fn recurring_internal_is_classified_internal() {
+        use decos_faults::FaultKind;
+        let faults = vec![FaultSpec {
+            id: 1,
+            kind: FaultKind::IcTransient { rate_per_hour: 9000.0, duration_ms: 4.0 },
+            target: FruRef::Component(NodeId(1)),
+            onset: SimTime::ZERO,
+        }];
+        let matches = run(faults, 10.0, 4000);
+        assert_eq!(
+            dominant_class(&matches, FruRef::Component(NodeId(1))),
+            Some(FaultClass::ComponentInternal)
+        );
+    }
+
+    #[test]
+    fn misconfiguration_is_classified_job_borderline() {
+        let (spec, _) =
+            decos_faults::campaign::misconfiguration_campaign(fig10::reference_spec(), 16);
+        let matches = run_spec(spec, vec![], 1.0, 3000);
+        assert_eq!(
+            dominant_class(&matches, FruRef::Job(fig10::jobs::C3)),
+            Some(FaultClass::JobBorderline)
+        );
+    }
+
+    #[test]
+    fn stuck_sensor_is_classified_transducer() {
+        let faults = decos_faults::campaign::sensor_campaign(
+            fig10::jobs::A1,
+            decos_faults::FaultKind::SensorStuck { value: 99.0 },
+        );
+        let matches = run(faults, 1.0, 1500);
+        assert_eq!(
+            dominant_class(&matches, FruRef::Job(fig10::jobs::A1)),
+            Some(FaultClass::JobInherentTransducer)
+        );
+        assert!(matches
+            .iter()
+            .any(|m| m.fru == FruRef::Job(fig10::jobs::A1) && m.pattern == "transducer-stuck"));
+    }
+
+    #[test]
+    fn bohrbug_is_classified_software() {
+        let faults = decos_faults::campaign::software_campaign(fig10::jobs::A1, false);
+        let matches = run(faults, 1.0, 4000);
+        assert_eq!(
+            dominant_class(&matches, FruRef::Job(fig10::jobs::A1)),
+            Some(FaultClass::JobInherentSoftware)
+        );
+    }
+
+    #[test]
+    fn capacitor_aging_triggers_cohost_correlation() {
+        use decos_faults::FaultKind;
+        // Component 0 hosts S1 (DAS S) and A1 (DAS A): a component-level
+        // aging fault biases both jobs' outputs.
+        let faults = vec![FaultSpec {
+            id: 1,
+            kind: FaultKind::CapacitorAging { bias_per_hour: 40_000.0 },
+            target: FruRef::Component(NodeId(0)),
+            onset: SimTime::ZERO,
+        }];
+        let matches = run(faults, 1.0, 4000);
+        assert!(
+            matches.iter().any(|m| m.pattern == "cohost-correlation"
+                && m.fru == FruRef::Component(NodeId(0))),
+            "correlated job failures on one host must map to component-internal"
+        );
+        assert_eq!(
+            dominant_class(&matches, FruRef::Component(NodeId(0))),
+            Some(FaultClass::ComponentInternal)
+        );
+    }
+
+    #[test]
+    fn fault_free_cluster_triggers_nothing() {
+        let matches = run(vec![], 1.0, 1000);
+        assert!(matches.is_empty(), "got {:?}", &matches[..matches.len().min(5)]);
+    }
+}

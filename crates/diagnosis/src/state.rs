@@ -1,0 +1,365 @@
+//! The distributed state of the diagnostic DAS.
+//!
+//! §V-A: "the pivotal strategy of the DECOS diagnostic architecture is the
+//! establishment of a holistic view on the system by operating on the
+//! *distributed state* established via the underlying core services."
+//!
+//! [`DistributedState`] is that holistic view: the recent symptom history
+//! aligned to the sparse time base (for windowed time/space correlation)
+//! plus long-horizon per-FRU accumulators (for trend and recurrence
+//! analysis). It contains only information that was actually delivered
+//! over the diagnostic virtual network.
+
+use crate::symptom::{Subject, Symptom, SymptomKind};
+use decos_platform::{JobId, NodeId};
+use decos_sim::stats::RateWindows;
+use decos_sim::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Round-aligned symptom history with per-FRU accumulators.
+pub struct DistributedState {
+    /// Recent rounds: (round start, symptoms delivered that round).
+    recent: VecDeque<(SimTime, Vec<Symptom>)>,
+    /// History bound, in rounds.
+    horizon_rounds: usize,
+    /// Comm-error rate (events/h windows) per subject component.
+    subject_err_rate: BTreeMap<NodeId, RateWindows>,
+    /// Comm-error rate per observer component.
+    observer_err_rate: BTreeMap<NodeId, RateWindows>,
+    /// Per-job recent value-symptom series: (time, deviation-or-proximity,
+    /// violated?).
+    job_value_series: BTreeMap<JobId, VecDeque<(SimTime, f64, bool)>>,
+    /// Per-job counts by label.
+    job_counts: BTreeMap<JobId, BTreeMap<&'static str, u64>>,
+    /// Per-component counts by label (comm errors, sync losses, ...).
+    comp_counts: BTreeMap<NodeId, BTreeMap<&'static str, u64>>,
+    /// Trend window length.
+    trend_window: SimDuration,
+    /// Bound on per-job value series length.
+    series_cap: usize,
+    /// Total symptoms ingested.
+    total: u64,
+}
+
+impl DistributedState {
+    /// Creates an empty state.
+    ///
+    /// `horizon_rounds` bounds the short-term correlation history;
+    /// `trend_window` is the bucket width of the long-horizon rate trends.
+    pub fn new(horizon_rounds: usize, trend_window: SimDuration) -> Self {
+        DistributedState {
+            recent: VecDeque::with_capacity(horizon_rounds + 1),
+            horizon_rounds,
+            subject_err_rate: BTreeMap::new(),
+            observer_err_rate: BTreeMap::new(),
+            job_value_series: BTreeMap::new(),
+            job_counts: BTreeMap::new(),
+            comp_counts: BTreeMap::new(),
+            trend_window,
+            series_cap: 4096,
+            total: 0,
+        }
+    }
+
+    /// Ingests the symptoms delivered in one round.
+    pub fn ingest_round(&mut self, round_start: SimTime, symptoms: Vec<Symptom>) {
+        for s in &symptoms {
+            self.total += 1;
+            match s.subject {
+                Subject::Component(n) => {
+                    *self
+                        .comp_counts
+                        .entry(n)
+                        .or_default()
+                        .entry(s.kind.label())
+                        .or_insert(0) += 1;
+                    if s.kind.is_comm_error() {
+                        self.subject_err_rate
+                            .entry(n)
+                            .or_insert_with(|| RateWindows::new(SimTime::ZERO, self.trend_window))
+                            .record(s.at);
+                        self.observer_err_rate
+                            .entry(s.observer)
+                            .or_insert_with(|| RateWindows::new(SimTime::ZERO, self.trend_window))
+                            .record(s.at);
+                    }
+                }
+                Subject::Job(j) => {
+                    *self
+                        .job_counts
+                        .entry(j)
+                        .or_default()
+                        .entry(s.kind.label())
+                        .or_insert(0) += 1;
+                    let entry = match s.kind {
+                        SymptomKind::ValueViolation { deviation, .. } => {
+                            Some((s.at, deviation, true))
+                        }
+                        SymptomKind::ValueDrift { proximity, .. } => Some((s.at, proximity, false)),
+                        _ => None,
+                    };
+                    if let Some(e) = entry {
+                        let series = self.job_value_series.entry(j).or_default();
+                        series.push_back(e);
+                        if series.len() > self.series_cap {
+                            series.pop_front();
+                        }
+                    }
+                }
+            }
+        }
+        self.recent.push_back((round_start, symptoms));
+        while self.recent.len() > self.horizon_rounds {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Total symptoms ingested over the campaign.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates the symptoms of the last `rounds` rounds.
+    pub fn recent_symptoms(&self, rounds: usize) -> impl Iterator<Item = &Symptom> {
+        let skip = self.recent.len().saturating_sub(rounds);
+        self.recent.iter().skip(skip).flat_map(|(_, v)| v.iter())
+    }
+
+    /// Comm-error counts per (observer, subject) pair over the last
+    /// `rounds` rounds, split by omission vs corruption kind.
+    pub fn pair_matrix(&self, rounds: usize) -> PairMatrix {
+        let mut m = PairMatrix::default();
+        for s in self.recent_symptoms(rounds) {
+            if let Subject::Component(subj) = s.subject {
+                match s.kind {
+                    SymptomKind::Omission => m.record(s.observer, subj, false),
+                    SymptomKind::InvalidCrc => m.record(s.observer, subj, true),
+                    SymptomKind::TimingViolation { .. } => m.record(s.observer, subj, false),
+                    _ => {}
+                }
+            }
+        }
+        m
+    }
+
+    /// Long-horizon comm-error rate trend (slope of events/hour) about a
+    /// subject component; `None` with fewer than two windows of history.
+    pub fn subject_err_trend(&self, n: NodeId) -> Option<f64> {
+        self.subject_err_rate.get(&n).and_then(|r| r.trend_slope())
+    }
+
+    /// Total comm errors recorded about a subject component.
+    pub fn subject_err_total(&self, n: NodeId) -> u64 {
+        self.subject_err_rate.get(&n).map(|r| r.total()).unwrap_or(0)
+    }
+
+    /// Per-window comm-error counts about a subject (the wearout trend
+    /// series of experiment E6/E7).
+    pub fn subject_err_windows(&self, n: NodeId) -> Option<&[u64]> {
+        self.subject_err_rate.get(&n).map(|r| r.counts())
+    }
+
+    /// Count of a symptom label for a component subject.
+    pub fn comp_count(&self, n: NodeId, label: &'static str) -> u64 {
+        self.comp_counts.get(&n).and_then(|m| m.get(label)).copied().unwrap_or(0)
+    }
+
+    /// Count of a symptom label for a job subject.
+    pub fn job_count(&self, j: JobId, label: &'static str) -> u64 {
+        self.job_counts.get(&j).and_then(|m| m.get(label)).copied().unwrap_or(0)
+    }
+
+    /// All jobs with any recorded symptom.
+    pub fn symptomatic_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.job_counts.keys().copied()
+    }
+
+    /// All components with any recorded symptom.
+    pub fn symptomatic_components(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.comp_counts.keys().copied()
+    }
+
+    /// The recorded value-symptom series of a job.
+    pub fn job_value_series(&self, j: JobId) -> Option<&VecDeque<(SimTime, f64, bool)>> {
+        self.job_value_series.get(&j)
+    }
+}
+
+/// Comm-error matrix over (observer, subject) pairs in a window.
+#[derive(Debug, Clone, Default)]
+pub struct PairMatrix {
+    /// (observer, subject) → (omission-like count, corruption count).
+    pub pairs: BTreeMap<(NodeId, NodeId), (u64, u64)>,
+}
+
+impl PairMatrix {
+    fn record(&mut self, observer: NodeId, subject: NodeId, corruption: bool) {
+        let e = self.pairs.entry((observer, subject)).or_insert((0, 0));
+        if corruption {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+
+    /// Total errors in the window.
+    pub fn total(&self) -> u64 {
+        self.pairs.values().map(|(o, c)| o + c).sum()
+    }
+
+    /// Distinct observers that complained about `subject`.
+    pub fn col_breadth(&self, subject: NodeId) -> usize {
+        self.pairs.keys().filter(|(_, s)| *s == subject).count()
+    }
+
+    /// Distinct subjects that `observer` complained about.
+    pub fn row_breadth(&self, observer: NodeId) -> usize {
+        self.pairs.keys().filter(|(o, _)| *o == observer).count()
+    }
+
+    /// Errors about `subject`: (omission-like, corruption).
+    pub fn col_counts(&self, subject: NodeId) -> (u64, u64) {
+        self.pairs
+            .iter()
+            .filter(|((_, s), _)| *s == subject)
+            .fold((0, 0), |acc, (_, (o, c))| (acc.0 + o, acc.1 + c))
+    }
+
+    /// Errors raised by `observer`: (omission-like, corruption).
+    pub fn row_counts(&self, observer: NodeId) -> (u64, u64) {
+        self.pairs
+            .iter()
+            .filter(|((o, _), _)| *o == observer)
+            .fold((0, 0), |acc, (_, (om, c))| (acc.0 + om, acc.1 + c))
+    }
+
+    /// Components touched by errors in either role.
+    pub fn touched(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .pairs
+            .keys()
+            .flat_map(|(o, s)| [*o, *s])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decos_timebase::LatticePoint;
+    use decos_vnet::PortId;
+
+    fn sym(observer: u16, subject: Subject, kind: SymptomKind, at_ms: u64) -> Symptom {
+        Symptom {
+            at: SimTime::from_millis(at_ms),
+            point: LatticePoint(at_ms),
+            observer: NodeId(observer),
+            subject,
+            kind,
+        }
+    }
+
+    fn state() -> DistributedState {
+        DistributedState::new(100, SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn ingest_and_counts() {
+        let mut ds = state();
+        ds.ingest_round(
+            SimTime::ZERO,
+            vec![
+                sym(0, Subject::Component(NodeId(2)), SymptomKind::Omission, 0),
+                sym(1, Subject::Component(NodeId(2)), SymptomKind::Omission, 0),
+                sym(0, Subject::Job(JobId(5)), SymptomKind::ValueViolation {
+                    deviation: 0.5,
+                    port: PortId(1),
+                }, 0),
+            ],
+        );
+        assert_eq!(ds.total(), 3);
+        assert_eq!(ds.comp_count(NodeId(2), "omission"), 2);
+        assert_eq!(ds.job_count(JobId(5), "value-violation"), 1);
+        assert_eq!(ds.subject_err_total(NodeId(2)), 2);
+        assert_eq!(ds.symptomatic_components().collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(ds.symptomatic_jobs().collect::<Vec<_>>(), vec![JobId(5)]);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut ds = DistributedState::new(3, SimDuration::from_millis(100));
+        for r in 0..10u64 {
+            ds.ingest_round(
+                SimTime::from_millis(r * 4),
+                vec![sym(0, Subject::Component(NodeId(1)), SymptomKind::Omission, r * 4)],
+            );
+        }
+        assert_eq!(ds.recent_symptoms(100).count(), 3, "history bounded to horizon");
+        assert_eq!(ds.total(), 10, "long-horizon counters keep everything");
+    }
+
+    #[test]
+    fn pair_matrix_shape() {
+        let mut ds = state();
+        ds.ingest_round(
+            SimTime::ZERO,
+            vec![
+                sym(0, Subject::Component(NodeId(2)), SymptomKind::Omission, 0),
+                sym(1, Subject::Component(NodeId(2)), SymptomKind::InvalidCrc, 0),
+                sym(2, Subject::Component(NodeId(0)), SymptomKind::Omission, 0),
+            ],
+        );
+        let m = ds.pair_matrix(10);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.col_breadth(NodeId(2)), 2);
+        assert_eq!(m.row_breadth(NodeId(2)), 1);
+        assert_eq!(m.col_counts(NodeId(2)), (1, 1));
+        assert_eq!(m.row_counts(NodeId(2)), (1, 0));
+        assert_eq!(m.touched(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn value_series_recorded_in_order() {
+        let mut ds = state();
+        for (i, (dev, viol)) in [(0.5, false), (0.9, false), (1.2, true)].iter().enumerate() {
+            ds.ingest_round(
+                SimTime::from_millis(i as u64 * 4),
+                vec![sym(
+                    0,
+                    Subject::Job(JobId(7)),
+                    if *viol {
+                        SymptomKind::ValueViolation { deviation: *dev, port: PortId(1) }
+                    } else {
+                        SymptomKind::ValueDrift { proximity: *dev, port: PortId(1) }
+                    },
+                    i as u64 * 4,
+                )],
+            );
+        }
+        let series = ds.job_value_series(JobId(7)).unwrap();
+        assert_eq!(series.len(), 3);
+        assert!(series[0].1 < series[2].1);
+        assert!(series[2].2, "last one is a violation");
+    }
+
+    #[test]
+    fn trend_detects_growth() {
+        let mut ds = DistributedState::new(1000, SimDuration::from_millis(50));
+        // Rising error frequency about component 1.
+        let mut t = 0u64;
+        for w in 0..10u64 {
+            for k in 0..=w {
+                ds.ingest_round(
+                    SimTime::from_millis(t),
+                    vec![sym(0, Subject::Component(NodeId(1)), SymptomKind::Omission, w * 50 + k)],
+                );
+                t += 4;
+            }
+        }
+        assert!(ds.subject_err_trend(NodeId(1)).unwrap() > 0.0);
+        assert!(ds.subject_err_windows(NodeId(1)).unwrap().len() >= 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-FRU trust levels (Fig. 9).
+//!
+//! "The diagnostic DAS outputs a *trust level* for each component, that
+//! acts as the basis for the decision of the maintenance engineer" (§II-D).
+//! A trust level lives in `[0, 1]`: 1 = full confidence the FRU conforms to
+//! its specification.
+//!
+//! Dynamics follow the assessment-trajectory picture of Fig. 9:
+//!
+//! * pattern matches *decay* trust, weighted by confidence and by how
+//!   actionable the indicated class is — external-fault evidence barely
+//!   moves it (nothing is wrong with the FRU), internal evidence cuts deep;
+//! * every quiet round *recovers* trust exponentially toward 1, so
+//!   trajectory B (a healthy FRU exposed to environmental transients)
+//!   returns to high trust while trajectory A (a degrading FRU) ratchets
+//!   down.
+
+use crate::patterns::PatternMatch;
+use decos_faults::{FaultClass, FruRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Trust dynamics parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustParams {
+    /// Base decay factor per unit of match confidence.
+    pub decay_weight: f64,
+    /// Recovery rate toward 1 per quiet round.
+    pub recovery_per_round: f64,
+}
+
+impl Default for TrustParams {
+    fn default() -> Self {
+        TrustParams { decay_weight: 0.05, recovery_per_round: 0.001 }
+    }
+}
+
+/// How strongly evidence of each class should erode trust in the FRU.
+fn class_severity(class: FaultClass) -> f64 {
+    match class {
+        // Nothing wrong with the FRU itself.
+        FaultClass::ComponentExternal => 0.05,
+        FaultClass::ComponentBorderline => 0.7,
+        FaultClass::ComponentInternal => 1.0,
+        FaultClass::JobBorderline => 0.6,
+        FaultClass::JobInherentSoftware => 0.8,
+        FaultClass::JobInherentTransducer => 0.8,
+    }
+}
+
+/// The per-FRU trust assessor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FruAssessor {
+    params: TrustParams,
+    trust: BTreeMap<FruRef, f64>,
+}
+
+impl FruAssessor {
+    /// Creates an assessor; unknown FRUs implicitly start at trust 1.
+    pub fn new(params: TrustParams) -> Self {
+        FruAssessor { params, trust: BTreeMap::new() }
+    }
+
+    /// The current trust level of a FRU.
+    pub fn trust(&self, fru: FruRef) -> f64 {
+        self.trust.get(&fru).copied().unwrap_or(1.0)
+    }
+
+    /// All FRUs whose trust has ever been touched.
+    pub fn tracked(&self) -> impl Iterator<Item = (FruRef, f64)> + '_ {
+        self.trust.iter().map(|(f, t)| (*f, *t))
+    }
+
+    /// Applies one round of pattern matches, then lets every tracked FRU
+    /// recover slightly.
+    pub fn update_round(&mut self, matches: &[PatternMatch]) {
+        for m in matches {
+            let entry = self.trust.entry(m.fru).or_insert(1.0);
+            let hit = self.params.decay_weight * m.confidence * class_severity(m.class);
+            *entry *= 1.0 - hit.clamp(0.0, 1.0);
+        }
+        for t in self.trust.values_mut() {
+            *t += self.params.recovery_per_round * (1.0 - *t);
+            *t = t.clamp(0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decos_platform::NodeId;
+    use decos_sim::SimTime;
+
+    fn m(class: FaultClass, confidence: f64) -> PatternMatch {
+        PatternMatch {
+            at: SimTime::ZERO,
+            fru: FruRef::Component(NodeId(1)),
+            class,
+            pattern: "test",
+            confidence,
+        }
+    }
+
+    #[test]
+    fn unknown_fru_is_fully_trusted() {
+        let a = FruAssessor::new(TrustParams::default());
+        assert_eq!(a.trust(FruRef::Component(NodeId(9))), 1.0);
+    }
+
+    #[test]
+    fn internal_evidence_ratchets_trust_down() {
+        let mut a = FruAssessor::new(TrustParams::default());
+        for _ in 0..200 {
+            a.update_round(&[m(FaultClass::ComponentInternal, 0.9)]);
+        }
+        assert!(a.trust(FruRef::Component(NodeId(1))) < 0.05);
+    }
+
+    #[test]
+    fn external_evidence_recovers_fig9_trajectory_b() {
+        let mut a = FruAssessor::new(TrustParams::default());
+        // A burst of external-fault evidence…
+        for _ in 0..50 {
+            a.update_round(&[m(FaultClass::ComponentExternal, 0.9)]);
+        }
+        let after_burst = a.trust(FruRef::Component(NodeId(1)));
+        assert!(after_burst > 0.8, "external evidence barely moves trust: {after_burst}");
+        // …followed by quiet rounds: trust recovers toward 1.
+        for _ in 0..2000 {
+            a.update_round(&[]);
+        }
+        let recovered = a.trust(FruRef::Component(NodeId(1)));
+        assert!(recovered > 0.95, "trajectory B must recover: {recovered}");
+    }
+
+    #[test]
+    fn internal_beats_recovery_fig9_trajectory_a() {
+        let mut a = FruAssessor::new(TrustParams::default());
+        // Sparse but recurring internal evidence: one match every 20 rounds.
+        for i in 0..4000 {
+            if i % 20 == 0 {
+                a.update_round(&[m(FaultClass::ComponentInternal, 0.8)]);
+            } else {
+                a.update_round(&[]);
+            }
+        }
+        assert!(
+            a.trust(FruRef::Component(NodeId(1))) < 0.5,
+            "trajectory A must keep degrading: {}",
+            a.trust(FruRef::Component(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn tracked_lists_touched_frus() {
+        let mut a = FruAssessor::new(TrustParams::default());
+        a.update_round(&[m(FaultClass::ComponentInternal, 0.5)]);
+        let tracked: Vec<(FruRef, f64)> = a.tracked().collect();
+        assert_eq!(tracked.len(), 1);
+        assert_eq!(tracked[0].0, FruRef::Component(NodeId(1)));
+        assert!(tracked[0].1 < 1.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # decos-faults — the maintenance-oriented fault model, executable
+//!
+//! The paper's contribution as types plus the machinery to *inject* every
+//! fault class it defines:
+//!
+//! * [`taxonomy`] — FRUs, the six fault classes of Fig. 6, the concrete
+//!   fault kinds of §IV and the Fig. 11 maintenance-action mapping;
+//! * [`injector`] — [`FaultEnvironment`], the `Environment` implementation
+//!   that turns fault specifications into manifestations on the cluster,
+//!   with a ground-truth activation log;
+//! * [`campaign`] — curated fault sets per experiment family, including a
+//!   field-statistics-weighted mixed sampler.
+
+pub mod campaign;
+pub mod injector;
+pub mod taxonomy;
+
+pub use injector::{ActivationLog, ActivationWindow, FaultEnvironment, FaultSpec};
+pub use taxonomy::{FaultClass, FaultKind, FruRef, MaintenanceAction};

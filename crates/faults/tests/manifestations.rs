@@ -1,0 +1,205 @@
+//! Manifestation coverage: every fault kind produces its documented effect
+//! on the cluster's interface state.
+
+use decos_faults::{ActivationLog, FaultEnvironment, FaultKind, FaultSpec, FruRef};
+use decos_platform::fig10;
+use decos_platform::{ClusterSim, NodeId, ObsKind, Power, SensorFault, SlotRecord};
+use decos_sim::{SeedSource, SimDuration, SimTime};
+
+fn run(
+    faults: Vec<FaultSpec>,
+    accel: f64,
+    rounds: u64,
+    mut sink: impl FnMut(&ClusterSim, &SlotRecord),
+) -> (ClusterSim, ActivationLog) {
+    let spec = fig10::reference_spec();
+    let mut env = FaultEnvironment::for_cluster(faults, &spec, accel, SeedSource::new(77));
+    let mut sim = ClusterSim::new(spec, 88).unwrap();
+    for _ in 0..rounds * 4 {
+        let rec = sim.step_slot(&mut env);
+        sink(&sim, &rec);
+    }
+    let log = env.log().clone();
+    (sim, log)
+}
+
+#[test]
+fn stress_outage_triggers_restart_with_state_sync() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::StressOutage { rate_per_hour: 3_000.0, outage_ms: 40.0 },
+        target: FruRef::Component(NodeId(2)),
+        onset: SimTime::ZERO,
+    }];
+    let mut restarts_seen = Vec::new();
+    let (sim, log) = run(faults, 10.0, 4_000, |_, rec| {
+        restarts_seen.extend(rec.restarts_completed.clone());
+    });
+    assert!(!log.windows.is_empty(), "episodes must occur");
+    assert!(restarts_seen.contains(&NodeId(2)), "stress must cause restarts");
+    assert!(sim.component(NodeId(2)).restarts() > 0);
+    assert_eq!(sim.component(NodeId(2)).power(), Power::On, "recovered after restart");
+    // Other components never restarted.
+    for n in [0u16, 1, 3] {
+        assert_eq!(sim.component(NodeId(n)).restarts(), 0);
+    }
+}
+
+#[test]
+fn connector_wearout_rate_grows() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::ConnectorWearout {
+            base_rate_per_hour: 100.0,
+            growth_per_hour: 300_000.0,
+            duration_ms: 5.0,
+        },
+        target: FruRef::Component(NodeId(1)),
+        onset: SimTime::ZERO,
+    }];
+    let (_, log) = run(faults, 1.0, 20_000, |_, _| {});
+    let horizon = SimTime::from_millis(20_000 * 4);
+    let half = SimTime::from_nanos(horizon.as_nanos() / 2);
+    let first: usize = log.windows.iter().filter(|w| w.from < half).count();
+    let second = log.windows.len() - first;
+    assert!(
+        second as f64 > first.max(1) as f64 * 1.5,
+        "wearout rate must grow: {first} → {second}"
+    );
+}
+
+#[test]
+fn power_supply_brownouts_silence_the_component() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::PowerSupplyMarginal { rate_per_hour: 5_000.0, outage_ms: 20.0 },
+        target: FruRef::Component(NodeId(3)),
+        onset: SimTime::ZERO,
+    }];
+    let mut omissions = 0u64;
+    let mut other_errors = 0u64;
+    let (_, log) = run(faults, 10.0, 4_000, |_, rec| {
+        for (i, o) in rec.observations.iter().enumerate() {
+            match o {
+                ObsKind::Omission if rec.owner == NodeId(3) => omissions += 1,
+                o if o.is_error() && rec.owner != NodeId(3) && i != 3 => other_errors += 1,
+                _ => {}
+            }
+        }
+    });
+    assert!(log.windows.len() > 5);
+    assert!(omissions > 0, "brownouts must appear as omissions");
+    assert_eq!(other_errors, 0, "no collateral damage");
+}
+
+#[test]
+fn seu_flips_a_single_frame() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::CosmicRaySeu { rate_per_hour: 2_000.0 },
+        target: FruRef::Component(NodeId(0)),
+        onset: SimTime::ZERO,
+    }];
+    let mut crc_errors = 0u64;
+    let (_, log) = run(faults, 10.0, 6_000, |_, rec| {
+        if rec.owner == NodeId(0) {
+            crc_errors +=
+                rec.observations.iter().filter(|o| matches!(o, ObsKind::InvalidCrc)).count() as u64;
+        }
+    });
+    assert!(!log.windows.is_empty());
+    assert!(crc_errors > 0, "SEUs must corrupt frames");
+    // Upsets are sub-slot events: each episode spans at most ~2 slots.
+    for w in &log.windows {
+        assert!(
+            w.until.saturating_since(w.from) <= SimDuration::from_millis(8),
+            "SEU window too long: {:?}",
+            w
+        );
+    }
+}
+
+#[test]
+fn sensor_noise_and_drift_reach_the_transducer() {
+    let faults = vec![
+        FaultSpec {
+            id: 1,
+            kind: FaultKind::SensorNoise { std_dev: 3.0 },
+            target: FruRef::Job(fig10::jobs::A1),
+            onset: SimTime::ZERO,
+        },
+        FaultSpec {
+            id: 2,
+            kind: FaultKind::SensorDrift { per_hour: 100.0 },
+            target: FruRef::Job(fig10::jobs::S1),
+            onset: SimTime::from_millis(100),
+        },
+    ];
+    let (sim, _) = run(faults, 1.0, 100, |_, _| {});
+    assert!(matches!(
+        sim.job(fig10::jobs::A1).sensor().unwrap().fault(),
+        SensorFault::Noise { .. }
+    ));
+    assert!(matches!(
+        sim.job(fig10::jobs::S1).sensor().unwrap().fault(),
+        SensorFault::Drift { .. }
+    ));
+}
+
+#[test]
+fn activation_log_windows_are_well_formed() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::IcTransient { rate_per_hour: 5_000.0, duration_ms: 6.0 },
+        target: FruRef::Component(NodeId(1)),
+        onset: SimTime::from_millis(50),
+    }];
+    let (_, log) = run(faults, 10.0, 4_000, |_, _| {});
+    assert!(log.windows.len() > 3);
+    for w in &log.windows {
+        assert!(w.from < w.until);
+        assert!(w.from >= SimTime::from_millis(50), "no activation before onset");
+        assert!(log.active_at(w.fault_id, w.from));
+        assert!(!log.active_at(w.fault_id, w.until));
+    }
+    // Windows of one fault never overlap.
+    for pair in log.windows.windows(2) {
+        assert!(pair[0].until <= pair[1].from, "overlapping episodes: {pair:?}");
+    }
+    assert_eq!(log.episodes_of(1), log.windows.len());
+    assert_eq!(log.episodes_of(99), 0);
+}
+
+#[test]
+fn onset_gates_every_kind() {
+    // A fault with onset beyond the horizon must never manifest.
+    let late = SimTime::from_secs(10_000);
+    let faults = vec![
+        FaultSpec {
+            id: 1,
+            kind: FaultKind::ConnectorIntermittent { rate_per_hour: 1e6, duration_ms: 5.0 },
+            target: FruRef::Component(NodeId(0)),
+            onset: late,
+        },
+        FaultSpec {
+            id: 2,
+            kind: FaultKind::IcPermanent { after_hours: 0.0 },
+            target: FruRef::Component(NodeId(1)),
+            onset: late,
+        },
+        FaultSpec {
+            id: 3,
+            kind: FaultKind::SensorStuck { value: 1.0 },
+            target: FruRef::Job(fig10::jobs::A1),
+            onset: late,
+        },
+    ];
+    let mut errors = 0u64;
+    let (sim, log) = run(faults, 10.0, 1_000, |_, rec| {
+        errors += rec.observations.iter().filter(|o| o.is_error()).count() as u64;
+    });
+    assert_eq!(errors, 0);
+    assert!(log.windows.is_empty());
+    assert!(!sim.component(NodeId(1)).is_dead());
+    assert_eq!(sim.job(fig10::jobs::A1).sensor().unwrap().fault(), SensorFault::None);
+}

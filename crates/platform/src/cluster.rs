@@ -1,0 +1,781 @@
+//! Cluster specification and the slot-stepped simulation.
+//!
+//! A time-triggered cluster is statically scheduled: the only timeline is
+//! the TDMA slot sequence, so the simulation advances slot by slot rather
+//! than through a general event queue (the generic DES kernel in
+//! `decos-sim` remains available for irregular workloads; the slot loop is
+//! both simpler and faster for the — by construction periodic — core
+//! network, which matters for fleet-scale Monte-Carlo runs).
+//!
+//! Every deviation from nominal behaviour enters through the
+//! [`Environment`] hooks; the simulation itself is fault-agnostic. The
+//! output of one step is a [`SlotRecord`] — exactly the *interface state*
+//! the integrated diagnostic architecture is allowed to observe.
+
+use crate::component::{ComponentSpec, ComponentState};
+use crate::env::{ComponentDirective, Environment};
+use crate::ids::{Criticality, DasId, JobId, NodeId};
+use crate::job::{DispatchCtx, JobRuntime, JobSpec};
+use crate::lif::{derive_lif, PortLif};
+use decos_sim::rng::SeedSource;
+use decos_sim::time::{SimDuration, SimTime};
+use decos_timebase::{fta_round, ActionLattice, SyncStatus};
+use decos_ttnet::{
+    BroadcastBus, ChannelParams, Frame, MembershipChange, MembershipParams, RxDisturbance,
+    SlotAddress, SlotObservation, TdmaSchedule, TxAttempt,
+};
+use decos_vnet::{encode_segment, ConfigDefect, Message, VnetConfig, VnetId};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static description of a DAS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DasSpec {
+    /// Identity.
+    pub id: DasId,
+    /// Human-readable name.
+    pub name: String,
+    /// Criticality of all jobs in this DAS.
+    pub criticality: Criticality,
+}
+
+/// Full static description of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Components, in `NodeId` order (node ids must be `0..n`).
+    pub components: Vec<ComponentSpec>,
+    /// Application subsystems.
+    pub dases: Vec<DasSpec>,
+    /// Correct virtual-network configurations.
+    pub vnets: Vec<VnetConfig>,
+    /// Configuration defects applied at deployment (ground truth for job
+    /// borderline faults). Empty for a correctly configured cluster.
+    pub config_defects: Vec<(VnetId, ConfigDefect)>,
+    /// Jobs.
+    pub jobs: Vec<JobSpec>,
+    /// TDMA slot length.
+    pub slot_len: SimDuration,
+    /// Physical channel parameters.
+    pub channel: ChannelParams,
+    /// Membership protocol parameters.
+    pub membership: MembershipParams,
+    /// Sparse-time action-lattice granule.
+    pub lattice_granule: SimDuration,
+    /// Cluster precision bound (sync-loss threshold), ns.
+    pub precision_ns: u64,
+}
+
+/// Specification errors caught at cluster construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpecError {
+    /// Node ids must be exactly `0..n` in order.
+    NonContiguousNodeIds,
+    /// More than 64 components (membership vector width).
+    TooManyComponents,
+    /// A job references an unknown host component.
+    UnknownHost(JobId),
+    /// A job references an unknown DAS.
+    UnknownDas(JobId),
+    /// A job references an unknown virtual network.
+    UnknownVnet(JobId),
+    /// Two jobs share an output port id.
+    DuplicatePort(u32),
+    /// A job's criticality disagrees with its DAS.
+    CriticalityMismatch(JobId),
+    /// Duplicate job id.
+    DuplicateJob(JobId),
+}
+
+impl ClusterSpec {
+    /// Validates structural consistency.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.components.len() > 64 {
+            return Err(SpecError::TooManyComponents);
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if c.node.0 as usize != i {
+                return Err(SpecError::NonContiguousNodeIds);
+            }
+        }
+        let das_ids: BTreeMap<DasId, Criticality> =
+            self.dases.iter().map(|d| (d.id, d.criticality)).collect();
+        let vnet_ids: Vec<VnetId> = self.vnets.iter().map(|v| v.id).collect();
+        let mut seen_ports = std::collections::BTreeSet::new();
+        let mut seen_jobs = std::collections::BTreeSet::new();
+        for j in &self.jobs {
+            if !seen_jobs.insert(j.id) {
+                return Err(SpecError::DuplicateJob(j.id));
+            }
+            if (j.host.0 as usize) >= self.components.len() {
+                return Err(SpecError::UnknownHost(j.id));
+            }
+            match das_ids.get(&j.das) {
+                None => return Err(SpecError::UnknownDas(j.id)),
+                Some(c) if *c != j.criticality => {
+                    return Err(SpecError::CriticalityMismatch(j.id))
+                }
+                Some(_) => {}
+            }
+            for v in j.behavior.vnets() {
+                if !vnet_ids.contains(&v) {
+                    return Err(SpecError::UnknownVnet(j.id));
+                }
+            }
+            if let Some(p) = j.behavior.output_port() {
+                if !seen_ports.insert(p) {
+                    return Err(SpecError::DuplicatePort(p.0));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The virtual-network configurations actually deployed, after applying
+    /// configuration defects.
+    pub fn deployed_vnets(&self) -> Vec<VnetConfig> {
+        self.vnets
+            .iter()
+            .map(|cfg| {
+                let mut c = *cfg;
+                for (id, defect) in &self.config_defects {
+                    if *id == c.id {
+                        c = defect.apply(&c);
+                    }
+                }
+                c
+            })
+            .collect()
+    }
+
+    /// Number of components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// How one receiver judged one slot (payload stripped; the carried messages
+/// are in [`SlotRecord::sent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObsKind {
+    /// This component is the slot owner.
+    Own,
+    /// Receiver was not operational (restarting or dead).
+    Offline,
+    /// Correct frame received.
+    Correct,
+    /// Nothing received.
+    Omission,
+    /// CRC check failed.
+    InvalidCrc,
+    /// Valid frame outside the acceptance window.
+    TimingViolation {
+        /// Measured offset, ns.
+        offset_ns: i64,
+    },
+}
+
+impl ObsKind {
+    /// Whether this judgment is an error indication against the owner.
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            ObsKind::Omission | ObsKind::InvalidCrc | ObsKind::TimingViolation { .. }
+        )
+    }
+}
+
+/// Queue-loss counter change in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverflowDelta {
+    /// Affected component.
+    pub node: NodeId,
+    /// Affected network.
+    pub vnet: VnetId,
+    /// New transmit-side overflows this slot.
+    pub tx: u64,
+    /// New receive-side overflows this slot.
+    pub rx: u64,
+}
+
+/// Everything observable about one TDMA slot — the interface-state record
+/// the diagnostic subsystem consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Slot position.
+    pub addr: SlotAddress,
+    /// Nominal start instant.
+    pub start: SimTime,
+    /// Slot owner.
+    pub owner: NodeId,
+    /// Whether a frame was put on the wire.
+    pub transmitted: bool,
+    /// Messages carried in the frame, per network (what receivers with a
+    /// `Correct` observation decoded).
+    pub sent: Vec<(VnetId, Vec<Message>)>,
+    /// Per-component judgment, indexed by `NodeId`.
+    pub observations: Vec<ObsKind>,
+    /// Queue-loss changes in this slot.
+    pub overflow_deltas: Vec<OverflowDelta>,
+    /// Components that lost clock synchronization at this round boundary.
+    pub sync_losses: Vec<NodeId>,
+    /// Membership changes observed (observer, change).
+    pub membership_changes: Vec<(NodeId, MembershipChange)>,
+    /// Components that completed a restart before this slot.
+    pub restarts_completed: Vec<NodeId>,
+}
+
+/// Median of a signed sample (0 for an empty slice).
+fn median_i64(xs: &mut [i64]) -> i64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs.sort_unstable();
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        ((xs[n / 2 - 1] as i128 + xs[n / 2] as i128) / 2) as i64
+    }
+}
+
+/// The running cluster.
+pub struct ClusterSim {
+    spec: ClusterSpec,
+    schedule: TdmaSchedule,
+    lattice: ActionLattice,
+    lif: Vec<PortLif>,
+    bus: BroadcastBus,
+    comps: Vec<ComponentState>,
+    jobs: Vec<JobRuntime>,
+    job_index: BTreeMap<JobId, usize>,
+    /// Per-sender frame layout: ordered (vnet, segment bytes).
+    tx_layouts: Vec<Vec<(VnetId, usize)>>,
+    /// Per-component set of networks any hosted job consumes from.
+    rx_vnets: Vec<std::collections::BTreeSet<VnetId>>,
+    next: SlotAddress,
+    rng_bus: SmallRng,
+    job_rngs: Vec<SmallRng>,
+    round_len: SimDuration,
+}
+
+impl ClusterSim {
+    /// Builds and validates a cluster, seeding all random streams from
+    /// `seed`.
+    pub fn new(spec: ClusterSpec, seed: u64) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let seeds = SeedSource::new(seed);
+        let deployed = spec.deployed_vnets();
+        let n = spec.components.len() as u16;
+        let schedule =
+            TdmaSchedule::new(spec.components.iter().map(|c| c.node).collect(), spec.slot_len);
+        let lattice = ActionLattice::new(spec.lattice_granule);
+        let lif = derive_lif(&spec.jobs);
+
+        // Per component: hosted jobs and used vnets.
+        let mut comps = Vec::with_capacity(spec.components.len());
+        for cs in &spec.components {
+            let hosted: Vec<JobId> =
+                spec.jobs.iter().filter(|j| j.host == cs.node).map(|j| j.id).collect();
+            let used: Vec<VnetConfig> = deployed
+                .iter()
+                .filter(|cfg| {
+                    spec.jobs
+                        .iter()
+                        .any(|j| j.host == cs.node && j.behavior.vnets().contains(&cfg.id))
+                })
+                .copied()
+                .collect();
+            comps.push(ComponentState::new(
+                cs.clone(),
+                &used,
+                hosted,
+                n,
+                spec.membership,
+                spec.precision_ns,
+            ));
+        }
+
+        // Per sender: frame layout (sorted vnets it publishes on).
+        let tx_layouts: Vec<Vec<(VnetId, usize)>> = spec
+            .components
+            .iter()
+            .map(|cs| {
+                let mut vnets: Vec<VnetId> = spec
+                    .jobs
+                    .iter()
+                    .filter(|j| j.host == cs.node)
+                    .filter_map(|j| j.behavior.output_vnet())
+                    .collect();
+                vnets.sort_unstable();
+                vnets.dedup();
+                vnets
+                    .into_iter()
+                    .map(|v| {
+                        let bytes = deployed
+                            .iter()
+                            .find(|c| c.id == v)
+                            .expect("validated vnet")
+                            .bytes_per_slot;
+                        (v, bytes)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Per component: networks with local consumers (delivery follows
+        // subscription; unsubscribed traffic must not fill local queues).
+        let rx_vnets: Vec<std::collections::BTreeSet<VnetId>> = spec
+            .components
+            .iter()
+            .map(|cs| {
+                spec.jobs
+                    .iter()
+                    .filter(|j| j.host == cs.node)
+                    .flat_map(|j| j.behavior.input_vnets())
+                    .collect()
+            })
+            .collect();
+
+        let jobs: Vec<JobRuntime> = spec.jobs.iter().cloned().map(JobRuntime::new).collect();
+        let job_index = jobs.iter().enumerate().map(|(i, j)| (j.spec().id, i)).collect();
+        let job_rngs =
+            jobs.iter().map(|j| seeds.stream("job", j.spec().id.0 as u64)).collect();
+
+        let round_len = schedule.round_len();
+        Ok(ClusterSim {
+            spec,
+            schedule,
+            lattice,
+            lif,
+            bus: BroadcastBus::new(ChannelParams::default()),
+            comps,
+            jobs,
+            job_index,
+            tx_layouts,
+            rx_vnets,
+            next: SlotAddress { round: 0, slot: decos_ttnet::SlotIndex(0) },
+            rng_bus: seeds.stream("bus", 0),
+            job_rngs,
+            round_len,
+        })
+    }
+
+    /// The cluster specification.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The TDMA schedule.
+    pub fn schedule(&self) -> &TdmaSchedule {
+        &self.schedule
+    }
+
+    /// The sparse-time action lattice.
+    pub fn lattice(&self) -> &ActionLattice {
+        &self.lattice
+    }
+
+    /// The derived LIF records.
+    pub fn lif(&self) -> &[PortLif] {
+        &self.lif
+    }
+
+    /// Nominal start instant of the next slot.
+    pub fn now(&self) -> SimTime {
+        self.schedule.start_of(self.next)
+    }
+
+    /// The round length (job dispatch period).
+    pub fn round_len(&self) -> SimDuration {
+        self.round_len
+    }
+
+    /// Component state by node.
+    pub fn component(&self, node: NodeId) -> &ComponentState {
+        &self.comps[node.0 as usize]
+    }
+
+    /// Mutable component state (used by fault injectors in tests).
+    pub fn component_mut(&mut self, node: NodeId) -> &mut ComponentState {
+        &mut self.comps[node.0 as usize]
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[ComponentState] {
+        &self.comps
+    }
+
+    /// Job runtime by id.
+    pub fn job(&self, id: JobId) -> &JobRuntime {
+        &self.jobs[self.job_index[&id]]
+    }
+
+    /// Mutable job runtime by id.
+    pub fn job_mut(&mut self, id: JobId) -> &mut JobRuntime {
+        let i = self.job_index[&id];
+        &mut self.jobs[i]
+    }
+
+    /// All job runtimes.
+    pub fn jobs(&self) -> &[JobRuntime] {
+        &self.jobs
+    }
+
+    fn overflow_snapshot(&self) -> Vec<(NodeId, VnetId, u64, u64)> {
+        let mut v = Vec::new();
+        for c in &self.comps {
+            for (id, ep) in &c.endpoints {
+                v.push((c.node(), *id, ep.tx_overflows(), ep.rx_overflows()));
+            }
+        }
+        v
+    }
+
+    /// Round-boundary housekeeping: lifecycle directives, oscillator drift
+    /// updates and fault-tolerant clock resynchronization.
+    fn round_boundary(&mut self, t: SimTime, env: &mut dyn Environment, rec: &mut SlotRecord) {
+        // Lifecycle directives.
+        for c in &mut self.comps {
+            match env.component_directive(t, c.node()) {
+                Some(ComponentDirective::Kill) => c.kill(t),
+                Some(ComponentDirective::Restart { dur_ns }) => {
+                    c.begin_restart(t, SimDuration::from_nanos(dur_ns))
+                }
+                None => {}
+            }
+        }
+        // Oscillator drift updates.
+        for c in &mut self.comps {
+            let extra = env.extra_drift_ppm(t, c.node());
+            if extra != 0.0 {
+                c.clock.degrade(extra);
+            } else {
+                c.clock.restore();
+            }
+        }
+        // FTA resynchronization among operational components.
+        let op: Vec<usize> =
+            (0..self.comps.len()).filter(|&i| self.comps[i].is_operational(t)).collect();
+        if op.len() >= 2 {
+            let devs: Vec<i64> = op.iter().map(|&i| self.comps[i].clock.deviation_ns(t)).collect();
+            let k = if op.len() >= 4 { 1 } else { 0 };
+            let mut corrections = Vec::with_capacity(op.len());
+            for (me, _) in op.iter().enumerate() {
+                let rel: Vec<i64> = devs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != me)
+                    .map(|(_, d)| d - devs[me])
+                    .collect();
+                corrections.push(fta_round(&rel, k).map(|r| r.correction_ns).unwrap_or(0));
+            }
+            for ((&ci, corr), _) in op.iter().zip(&corrections).zip(0..) {
+                self.comps[ci].clock.apply_correction(*corr);
+            }
+            // Post-correction status against the cluster reference. The
+            // median (not the mean) is the reference: a single wildly
+            // drifting clock must not drag the reference with it and damn
+            // the healthy majority.
+            let post: Vec<i64> = op.iter().map(|&i| self.comps[i].clock.deviation_ns(t)).collect();
+            let reference = median_i64(&mut post.clone());
+            for (&ci, &d) in op.iter().zip(&post) {
+                let before = self.comps[ci].sync_status();
+                let after = self.comps[ci].sync.observe(d - reference);
+                if before == SyncStatus::Synchronized && after == SyncStatus::SyncLost {
+                    rec.sync_losses.push(self.comps[ci].node());
+                }
+            }
+        }
+    }
+
+    /// Advances the simulation by one TDMA slot.
+    pub fn step_slot(&mut self, env: &mut dyn Environment) -> SlotRecord {
+        let addr = self.next;
+        let t = self.schedule.start_of(addr);
+        self.next = self.schedule.next(addr);
+        let owner = self.schedule.owner(addr.slot);
+        let oidx = owner.0 as usize;
+
+        let mut rec = SlotRecord {
+            addr,
+            start: t,
+            owner,
+            transmitted: false,
+            sent: Vec::new(),
+            observations: vec![ObsKind::Offline; self.comps.len()],
+            overflow_deltas: Vec::new(),
+            sync_losses: Vec::new(),
+            membership_changes: Vec::new(),
+            restarts_completed: Vec::new(),
+        };
+
+        env.begin_slot(t, addr);
+        if addr.slot.0 == 0 {
+            self.round_boundary(t, env, &mut rec);
+        }
+
+        // Complete pending restarts.
+        for c in &mut self.comps {
+            if c.poll_restart(t) {
+                rec.restarts_completed.push(c.node());
+            }
+        }
+
+        let before = self.overflow_snapshot();
+
+        // The cluster's global time base is what slot boundaries mean to
+        // its members: a sender's observable send offset is its deviation
+        // from the *synchronized* cluster time (mean deviation of the
+        // operational clocks), not from omniscient physical time — common-
+        // mode drift is invisible inside the cluster.
+        let global_dev_ns: i64 = {
+            let mut ds: Vec<i64> = self
+                .comps
+                .iter()
+                .filter(|c| c.is_operational(t))
+                .map(|c| c.clock.deviation_ns(t))
+                .collect();
+            median_i64(&mut ds)
+        };
+
+        // --- Sender side -------------------------------------------------
+        let tx_dist = env.tx_disturbance(t, owner);
+        let operational = self.comps[oidx].is_operational(t);
+        let tx = if !operational || tx_dist.silence {
+            TxAttempt::silent()
+        } else {
+            // Dispatch hosted jobs.
+            let hosted = self.comps[oidx].hosted().to_vec();
+            for jid in hosted {
+                let ji = self.job_index[&jid];
+                let job = &mut self.jobs[ji];
+                env.pre_dispatch(t, job);
+                let mut msgs = {
+                    let comp = &mut self.comps[oidx];
+                    let mut ctx = DispatchCtx {
+                        now: t,
+                        round: self.round_len,
+                        endpoints: &mut comp.endpoints,
+                        rng: &mut self.job_rngs[ji],
+                    };
+                    job.dispatch(&mut ctx)
+                };
+                env.filter_outputs(t, job.spec(), &mut msgs);
+                if let Some(vnet) = job.spec().behavior.output_vnet() {
+                    let comp = &mut self.comps[oidx];
+                    if let Some(ep) = comp.endpoints.get_mut(&vnet) {
+                        for m in msgs {
+                            ep.send(m);
+                        }
+                    }
+                }
+            }
+
+            // Drain endpoints into the frame, with local loopback.
+            let layout = self.tx_layouts[oidx].clone();
+            let mut payload = Vec::new();
+            for (vnet, bytes) in &layout {
+                let comp = &mut self.comps[oidx];
+                let ep = comp.endpoints.get_mut(vnet).expect("layout vnet has endpoint");
+                let msgs = ep.drain_for_slot();
+                if self.rx_vnets[oidx].contains(vnet) {
+                    // Local loopback only where a local job consumes.
+                    for m in &msgs {
+                        ep.deliver_message(*m);
+                    }
+                }
+                encode_segment(&msgs, *bytes, &mut payload);
+                rec.sent.push((*vnet, msgs));
+            }
+            let frame = Frame::new(owner, addr.round, addr.slot, payload);
+            TxAttempt {
+                frame: Some(frame),
+                offset_ns: self.comps[oidx].clock.deviation_ns(t) - global_dev_ns
+                    + tx_dist.extra_offset_ns,
+                source_corrupt_bits: tx_dist.corrupt_bits,
+            }
+        };
+        rec.transmitted = tx.frame.is_some();
+
+        // --- Channel ------------------------------------------------------
+        let rx_dist: Vec<RxDisturbance> = self
+            .comps
+            .iter()
+            .map(|c| {
+                if c.node() == owner || !c.is_operational(t) {
+                    RxDisturbance::NONE
+                } else {
+                    env.rx_disturbance(t, owner, c.node())
+                }
+            })
+            .collect();
+        let obs = self.bus.resolve_slot(&tx, &rx_dist, &mut self.rng_bus);
+
+        // --- Receiver side -------------------------------------------------
+        let layout = self.tx_layouts[oidx].clone();
+        for i in 0..self.comps.len() {
+            if i == oidx {
+                rec.observations[i] = ObsKind::Own;
+                continue;
+            }
+            if !self.comps[i].is_operational(t) {
+                rec.observations[i] = ObsKind::Offline;
+                continue;
+            }
+            let node = self.comps[i].node();
+            let (kind, deliver) = match &obs[i] {
+                SlotObservation::Correct(frame) => (ObsKind::Correct, Some(frame.payload.clone())),
+                SlotObservation::Omission => (ObsKind::Omission, None),
+                SlotObservation::InvalidCrc { .. } => (ObsKind::InvalidCrc, None),
+                SlotObservation::TimingViolation { offset_ns, .. } => {
+                    // Out-of-window frames are discarded by the receiver.
+                    (ObsKind::TimingViolation { offset_ns: *offset_ns }, None)
+                }
+            };
+            rec.observations[i] = kind;
+            if let Some(change) =
+                self.comps[i].membership.observe_slot(owner, matches!(kind, ObsKind::Correct))
+            {
+                rec.membership_changes.push((node, change));
+            }
+            if let Some(payload) = deliver {
+                let mut off = 0usize;
+                for (vnet, bytes) in &layout {
+                    let seg = &payload[off..(off + bytes).min(payload.len())];
+                    off += bytes;
+                    if !self.rx_vnets[i].contains(vnet) {
+                        continue;
+                    }
+                    let comp = &mut self.comps[i];
+                    if let Some(ep) = comp.endpoints.get_mut(vnet) {
+                        let _ = ep.deliver_segment(seg);
+                    }
+                }
+            }
+        }
+
+        // --- Loss accounting ------------------------------------------------
+        let after = self.overflow_snapshot();
+        for (b, a) in before.iter().zip(&after) {
+            debug_assert_eq!((b.0, b.1), (a.0, a.1));
+            if a.2 != b.2 || a.3 != b.3 {
+                rec.overflow_deltas.push(OverflowDelta {
+                    node: a.0,
+                    vnet: a.1,
+                    tx: a.2 - b.2,
+                    rx: a.3 - b.3,
+                });
+            }
+        }
+        rec
+    }
+
+    /// Runs `n` whole rounds, feeding every record to `sink`.
+    pub fn run_rounds(
+        &mut self,
+        n: u64,
+        env: &mut dyn Environment,
+        sink: &mut dyn FnMut(&ClusterSim, &SlotRecord),
+    ) {
+        let slots = n * self.schedule.slots_per_round() as u64;
+        for _ in 0..slots {
+            let rec = self.step_slot(env);
+            sink(self, &rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::NullEnvironment;
+    use crate::fig10;
+
+    #[test]
+    fn reference_cluster_builds() {
+        let spec = fig10::reference_spec();
+        assert_eq!(spec.validate(), Ok(()));
+        let sim = ClusterSim::new(spec, 1).unwrap();
+        assert_eq!(sim.components().len(), 4);
+        assert!(!sim.lif().is_empty());
+    }
+
+    #[test]
+    fn fault_free_run_is_clean() {
+        let mut sim = ClusterSim::new(fig10::reference_spec(), 2).unwrap();
+        let mut env = NullEnvironment;
+        let mut errors = 0u64;
+        let mut overflows = 0u64;
+        let mut sync_losses = 0u64;
+        sim.run_rounds(500, &mut env, &mut |_, rec| {
+            errors += rec.observations.iter().filter(|o| o.is_error()).count() as u64;
+            overflows += rec.overflow_deltas.len() as u64;
+            sync_losses += rec.sync_losses.len() as u64;
+        });
+        assert_eq!(errors, 0, "fault-free cluster must produce no slot errors");
+        assert_eq!(overflows, 0, "correctly dimensioned queues must not overflow");
+        assert_eq!(sync_losses, 0, "nominal drift must stay synchronized");
+    }
+
+    #[test]
+    fn fault_free_run_delivers_application_traffic() {
+        let mut sim = ClusterSim::new(fig10::reference_spec(), 3).unwrap();
+        let mut env = NullEnvironment;
+        sim.run_rounds(200, &mut env, &mut |_, _| {});
+        // The voter produced outputs (TMR path works end to end).
+        let voter = sim.job(fig10::jobs::VOTER);
+        assert!(voter.counters().produced > 150, "voter output missing");
+        assert_eq!(voter.divergence().no_majority(), 0);
+        // The consumer consumed events.
+        let consumer = sim.job(fig10::jobs::C3);
+        assert!(consumer.counters().consumed > 0, "no events consumed");
+        // The controller actuated.
+        assert!(sim.job(fig10::jobs::A3).actuator().last().is_some());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = ClusterSim::new(fig10::reference_spec(), seed).unwrap();
+            let mut env = NullEnvironment;
+            let mut trace = Vec::new();
+            sim.run_rounds(50, &mut env, &mut |_, rec| trace.push(rec.clone()));
+            trace
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn spec_validation_catches_errors() {
+        let mut spec = fig10::reference_spec();
+        spec.jobs[0].host = NodeId(99);
+        assert_eq!(spec.validate(), Err(SpecError::UnknownHost(spec.jobs[0].id)));
+
+        let mut spec = fig10::reference_spec();
+        spec.jobs[1].das = DasId(99);
+        assert_eq!(spec.validate(), Err(SpecError::UnknownDas(spec.jobs[1].id)));
+
+        let mut spec = fig10::reference_spec();
+        let dup = spec.jobs[0].clone();
+        let mut dup2 = dup.clone();
+        dup2.id = JobId(999);
+        spec.jobs.push(dup2);
+        assert!(matches!(spec.validate(), Err(SpecError::DuplicatePort(_))));
+
+        let mut spec = fig10::reference_spec();
+        spec.components.swap(0, 1);
+        assert_eq!(spec.validate(), Err(SpecError::NonContiguousNodeIds));
+    }
+
+    #[test]
+    fn deployed_vnets_apply_defects() {
+        let mut spec = fig10::reference_spec();
+        let target = spec.vnets[0].id;
+        let orig_depth = spec.vnets[0].rx_queue_depth;
+        spec.config_defects.push((target, ConfigDefect::UnderDimensionedRxQueue { factor: 2 }));
+        let deployed = spec.deployed_vnets();
+        let d = deployed.iter().find(|v| v.id == target).unwrap();
+        assert_eq!(d.rx_queue_depth, (orig_depth / 2).max(1));
+    }
+}

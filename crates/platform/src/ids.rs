@@ -1,0 +1,78 @@
+//! Identities of the functional system structure (§II-A).
+
+use serde::{Deserialize, Serialize};
+
+pub use decos_ttnet::NodeId;
+
+/// Identity of a Distributed Application Subsystem (DAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DasId(pub u16);
+
+impl core::fmt::Display for DasId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DAS{}", self.0)
+    }
+}
+
+/// Identity of a job — the basic unit of work, and the FRU for software
+/// faults (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl core::fmt::Display for JobId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// Criticality level of a DAS; the vertical structuring of a DECOS
+/// component keeps the two levels in separate encapsulated subsystems
+/// (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Criticality {
+    /// Ultra-dependable applications; assumed certified free of software
+    /// design faults (§III-E, software-fault distribution assumption).
+    SafetyCritical,
+    /// Applications with less stringent dependability requirements; may
+    /// contain residual software design faults.
+    NonSafetyCritical,
+}
+
+/// Physical mounting position of a component in the vehicle, in metres.
+///
+/// Spatial proximity drives the scope of external disturbances (an EMI
+/// burst affects "multiple components with spatial proximity", Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Longitudinal coordinate.
+    pub x: f64,
+    /// Lateral coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position { x: 0.0, y: 0.0 };
+        let b = Position { x: 3.0, y: 4.0 };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DasId(2).to_string(), "DAS2");
+        assert_eq!(JobId(7).to_string(), "J7");
+        assert_eq!(NodeId(1).to_string(), "N1");
+    }
+}

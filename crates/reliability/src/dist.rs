@@ -1,0 +1,239 @@
+//! Lifetime distributions: exponential and Weibull.
+//!
+//! Implemented locally (inverse-CDF sampling) instead of pulling in
+//! `rand_distr`: the two distributions and their hazard functions are a few
+//! lines each, and owning them lets the property tests pin the exact
+//! sampling semantics the fleet experiments depend on.
+
+use rand::rngs::SmallRng;
+use rand::RngExt as _;
+use serde::{Deserialize, Serialize};
+
+/// Exponential lifetime distribution (constant hazard — the useful-life
+/// phase of the bathtub curve).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate λ per hour.
+    pub rate_per_hour: f64,
+}
+
+impl Exponential {
+    /// Creates a distribution with rate `λ` per hour (must be positive).
+    pub fn new(rate_per_hour: f64) -> Self {
+        assert!(rate_per_hour > 0.0 && rate_per_hour.is_finite());
+        Exponential { rate_per_hour }
+    }
+
+    /// Samples a lifetime in hours.
+    pub fn sample_hours(&self, rng: &mut SmallRng) -> f64 {
+        // 1 - U ∈ (0, 1]: ln never sees zero.
+        let u = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate_per_hour
+    }
+
+    /// Hazard function (constant).
+    pub fn hazard(&self, _t_hours: f64) -> f64 {
+        self.rate_per_hour
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, t_hours: f64) -> f64 {
+        if t_hours <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate_per_hour * t_hours).exp()
+        }
+    }
+
+    /// Mean lifetime in hours.
+    pub fn mean_hours(&self) -> f64 {
+        1.0 / self.rate_per_hour
+    }
+}
+
+/// Weibull lifetime distribution.
+///
+/// Shape `k < 1` gives a decreasing hazard (infant mortality); `k = 1`
+/// reduces to the exponential; `k > 1` gives an increasing hazard
+/// (wearout). Scale `λ` is the characteristic life in hours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    /// Shape parameter k.
+    pub shape: f64,
+    /// Scale parameter λ, hours.
+    pub scale_hours: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution (both parameters must be positive).
+    pub fn new(shape: f64, scale_hours: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite());
+        assert!(scale_hours > 0.0 && scale_hours.is_finite());
+        Weibull { shape, scale_hours }
+    }
+
+    /// Samples a lifetime in hours via the inverse CDF:
+    /// `λ · (−ln(1−U))^(1/k)`.
+    pub fn sample_hours(&self, rng: &mut SmallRng) -> f64 {
+        let u = 1.0 - rng.random::<f64>();
+        self.scale_hours * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    /// Hazard function `(k/λ)·(t/λ)^(k−1)`.
+    pub fn hazard(&self, t_hours: f64) -> f64 {
+        if t_hours < 0.0 {
+            return 0.0;
+        }
+        if t_hours == 0.0 {
+            // k<1: infinite at 0; k=1: λ⁻¹; k>1: 0.
+            return match self.shape.partial_cmp(&1.0).expect("finite") {
+                core::cmp::Ordering::Less => f64::INFINITY,
+                core::cmp::Ordering::Equal => 1.0 / self.scale_hours,
+                core::cmp::Ordering::Greater => 0.0,
+            };
+        }
+        (self.shape / self.scale_hours) * (t_hours / self.scale_hours).powf(self.shape - 1.0)
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, t_hours: f64) -> f64 {
+        if t_hours <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(t_hours / self.scale_hours).powf(self.shape)).exp()
+        }
+    }
+
+    /// Mean lifetime `λ·Γ(1 + 1/k)` in hours.
+    pub fn mean_hours(&self) -> f64 {
+        self.scale_hours * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Gamma function via the Lanczos approximation (g = 7, n = 9).
+///
+/// Needed only for Weibull means; accuracy ~1e-13 over the parameter ranges
+/// used here, verified against known values in the tests.
+pub fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        core::f64::consts::PI / ((core::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * core::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decos_sim::SeedSource;
+
+    fn rng(i: u64) -> SmallRng {
+        SeedSource::new(55).stream("dist", i)
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-9);
+        assert!((gamma(0.5) - core::f64::consts::PI.sqrt()).abs() < 1e-12);
+        assert!((gamma(1.5) - 0.886_226_925_452_758).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::new(0.01); // mean 100 h
+        let mut r = rng(0);
+        let n = 100_000;
+        let m = (0..n).map(|_| d.sample_hours(&mut r)).sum::<f64>() / n as f64;
+        assert!((m - 100.0).abs() < 1.5, "mean {m}");
+        assert_eq!(d.mean_hours(), 100.0);
+    }
+
+    #[test]
+    fn exponential_cdf_and_hazard() {
+        let d = Exponential::new(0.5);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.hazard(0.0), 0.5);
+        assert_eq!(d.hazard(100.0), 0.5);
+    }
+
+    #[test]
+    fn weibull_k1_equals_exponential() {
+        let w = Weibull::new(1.0, 100.0);
+        let e = Exponential::new(0.01);
+        for t in [0.0, 1.0, 50.0, 400.0] {
+            assert!((w.cdf(t) - e.cdf(t)).abs() < 1e-12, "t={t}");
+            assert!((w.hazard(t) - e.hazard(t)).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn weibull_hazard_shapes() {
+        let infant = Weibull::new(0.5, 1000.0);
+        assert!(infant.hazard(1.0) > infant.hazard(100.0), "k<1 hazard must decrease");
+        assert_eq!(infant.hazard(0.0), f64::INFINITY);
+
+        let wearout = Weibull::new(3.0, 1000.0);
+        assert!(wearout.hazard(100.0) < wearout.hazard(500.0), "k>1 hazard must increase");
+        assert_eq!(wearout.hazard(0.0), 0.0);
+    }
+
+    #[test]
+    fn weibull_sample_mean_matches_formula() {
+        let w = Weibull::new(2.0, 500.0);
+        let mut r = rng(1);
+        let n = 100_000;
+        let m = (0..n).map(|_| w.sample_hours(&mut r)).sum::<f64>() / n as f64;
+        let expect = w.mean_hours(); // 500 * Γ(1.5) ≈ 443.1
+        assert!((m - expect).abs() / expect < 0.01, "mean {m} vs {expect}");
+    }
+
+    #[test]
+    fn weibull_samples_match_cdf() {
+        let w = Weibull::new(3.0, 200.0);
+        let mut r = rng(2);
+        let n = 50_000;
+        let t = 180.0;
+        let frac =
+            (0..n).filter(|_| w.sample_hours(&mut r) <= t).count() as f64 / n as f64;
+        assert!((frac - w.cdf(t)).abs() < 0.01, "empirical {frac} vs cdf {}", w.cdf(t));
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let w = Weibull::new(0.7, 10.0);
+        let e = Exponential::new(5.0);
+        let mut r = rng(3);
+        for _ in 0..10_000 {
+            assert!(w.sample_hours(&mut r) >= 0.0);
+            assert!(e.sample_hours(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_shape_rejected() {
+        Weibull::new(0.0, 1.0);
+    }
+}

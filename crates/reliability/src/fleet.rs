@@ -1,0 +1,130 @@
+//! Fleet statistics.
+//!
+//! The paper's empirical anchors (\[16\], \[21\]) are *fleet-level* statements:
+//! failures per million units per year, and the 20–80 concentration of
+//! software failures over modules. This module aggregates per-unit
+//! simulation outcomes into those fleet-level views.
+
+use serde::{Deserialize, Serialize};
+
+/// Failures-per-million-units-per-year series over calendar years.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetFailureRates {
+    /// Rate per year bin: `rates[y]` = failures per 10⁶ surviving units in
+    /// year `y`.
+    pub per_million_per_year: Vec<f64>,
+    /// Units that entered each year.
+    pub survivors_at_start: Vec<u64>,
+}
+
+/// Computes yearly failure rates from unit lifetimes (hours), for a fleet
+/// of `lifetimes.len()` units observed over `years`.
+pub fn fleet_failure_rates(lifetimes_hours: &[f64], years: usize) -> FleetFailureRates {
+    let hours_per_year = 365.25 * 24.0;
+    let mut failures = vec![0u64; years];
+    for &t in lifetimes_hours {
+        let y = (t / hours_per_year) as usize;
+        if y < years {
+            failures[y] += 1;
+        }
+    }
+    let mut survivors = lifetimes_hours.len() as u64;
+    let mut rates = Vec::with_capacity(years);
+    let mut starts = Vec::with_capacity(years);
+    for &f in &failures {
+        starts.push(survivors);
+        let rate = if survivors > 0 { f as f64 / survivors as f64 * 1e6 } else { 0.0 };
+        rates.push(rate);
+        survivors -= f;
+    }
+    FleetFailureRates { per_million_per_year: rates, survivors_at_start: starts }
+}
+
+/// Concentration statistics of failures over modules (the 20–80 rule,
+/// \[21\]: "20% of the software modules are causing 80% of the software
+/// related failures during operation").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Concentration {
+    /// Fraction of total failures attributable to the busiest 20% of
+    /// modules.
+    pub top20_share: f64,
+    /// Gini coefficient of the per-module failure distribution.
+    pub gini: f64,
+}
+
+/// Computes failure concentration over per-module failure counts.
+pub fn concentration(per_module_failures: &[u64]) -> Concentration {
+    if per_module_failures.is_empty() {
+        return Concentration { top20_share: 0.0, gini: 0.0 };
+    }
+    let total: u64 = per_module_failures.iter().sum();
+    if total == 0 {
+        return Concentration { top20_share: 0.0, gini: 0.0 };
+    }
+    let mut sorted: Vec<u64> = per_module_failures.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    let top_n = (sorted.len() as f64 * 0.2).ceil().max(1.0) as usize;
+    let top: u64 = sorted[..top_n.min(sorted.len())].iter().sum();
+    let top20_share = top as f64 / total as f64;
+
+    // Gini over ascending order.
+    sorted.reverse();
+    let n = sorted.len() as f64;
+    let mut cum = 0.0;
+    let mut weighted = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        cum += x as f64;
+        weighted += (i as f64 + 1.0) * x as f64;
+    }
+    let gini = (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+    Concentration { top20_share, gini }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yearly_rates() {
+        let h = 365.25 * 24.0;
+        // 4 units: fail in year 0, year 1, year 1, survive.
+        let lifetimes = vec![0.5 * h, 1.2 * h, 1.9 * h, 100.0 * h];
+        let r = fleet_failure_rates(&lifetimes, 3);
+        assert_eq!(r.survivors_at_start, vec![4, 3, 1]);
+        assert!((r.per_million_per_year[0] - 0.25e6).abs() < 1.0);
+        assert!((r.per_million_per_year[1] - 2.0 / 3.0 * 1e6).abs() < 1.0);
+        assert_eq!(r.per_million_per_year[2], 0.0);
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let r = fleet_failure_rates(&[], 2);
+        assert_eq!(r.per_million_per_year, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn concentration_uniform_is_low() {
+        let c = concentration(&[10; 100]);
+        assert!((c.top20_share - 0.2).abs() < 1e-9);
+        assert!(c.gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentration_pareto_is_high() {
+        // 20 modules with 40 failures each, 80 modules with 2 or 3:
+        // roughly the 20-80 shape.
+        let mut v = vec![40u64; 20];
+        v.extend(vec![2u64; 80]);
+        let c = concentration(&v);
+        assert!(c.top20_share > 0.75, "top20 {}", c.top20_share);
+        assert!(c.gini > 0.5, "gini {}", c.gini);
+    }
+
+    #[test]
+    fn concentration_degenerate() {
+        assert_eq!(concentration(&[]).top20_share, 0.0);
+        assert_eq!(concentration(&[0, 0, 0]).gini, 0.0);
+        let single = concentration(&[7]);
+        assert!((single.top20_share - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Pecht's law — the semiconductor reliability trend (§III-E).
+//!
+//! "Semiconductor device reliability in terms of time-to-failure is
+//! doubling every fourteen months" \[22\]. The paper uses this to argue that
+//! *permanent* rates keep falling while *transient* rates rise with
+//! shrinking geometries — the asymmetry that makes the transient-failure
+//! wearout indicator viable. This module models both trends so experiments
+//! can scale fault rates across technology generations.
+
+use crate::fit::FitRate;
+
+/// Reliability doubling period of Pecht's law, in months.
+pub const DOUBLING_MONTHS: f64 = 14.0;
+
+/// Scales a *permanent* failure rate from a reference year to a target
+/// year under Pecht's law (rates halve every 14 months).
+pub fn permanent_rate_at(reference: FitRate, reference_year: f64, target_year: f64) -> FitRate {
+    let months = (target_year - reference_year) * 12.0;
+    reference.scaled(0.5f64.powf(months / DOUBLING_MONTHS))
+}
+
+/// Transient-rate trend: soft-error rates *grow* with shrinking geometries
+/// (\[24\]). We model a compounding growth per technology year.
+pub fn transient_rate_at(
+    reference: FitRate,
+    reference_year: f64,
+    target_year: f64,
+    growth_per_year: f64,
+) -> FitRate {
+    reference.scaled((1.0 + growth_per_year).powf(target_year - reference_year))
+}
+
+/// Transient-to-permanent rate ratio at a target year, starting from the
+/// paper's assumptions (100 FIT permanent, 100 000 FIT transient at the
+/// reference year).
+pub fn transient_permanent_ratio(years_ahead: f64, transient_growth_per_year: f64) -> f64 {
+    let p = permanent_rate_at(crate::fit::PERMANENT_HW_FIT, 0.0, years_ahead);
+    let t = transient_rate_at(crate::fit::TRANSIENT_HW_FIT, 0.0, years_ahead, transient_growth_per_year);
+    t.0 / p.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permanent_rate_halves_every_14_months() {
+        let r0 = FitRate(100.0);
+        let r = permanent_rate_at(r0, 2005.0, 2005.0 + 14.0 / 12.0);
+        assert!((r.0 - 50.0).abs() < 1e-9);
+        let r2 = permanent_rate_at(r0, 2005.0, 2005.0 + 28.0 / 12.0);
+        assert!((r2.0 - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backwards_in_time_increases() {
+        let r = permanent_rate_at(FitRate(100.0), 2005.0, 2005.0 - 14.0 / 12.0);
+        assert!((r.0 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_rate_grows() {
+        let r = transient_rate_at(FitRate(100_000.0), 2005.0, 2010.0, 0.1);
+        assert!((r.0 - 100_000.0 * 1.1f64.powi(5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_widens_over_time() {
+        let now = transient_permanent_ratio(0.0, 0.1);
+        let later = transient_permanent_ratio(10.0, 0.1);
+        assert!((now - 1000.0).abs() < 1e-6, "paper baseline ratio is 1000:1");
+        assert!(later > now * 10.0, "the asymmetry must widen");
+    }
+}

@@ -1,0 +1,358 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The kernel is intentionally minimal: a time-ordered priority queue of
+//! typed events delivered to a user-supplied [`Model`]. Determinism is the
+//! primary design goal — two runs with the same model, seed and event
+//! sequence produce bit-identical results — because the diagnostic
+//! experiments must be exactly reproducible from a single seed.
+//!
+//! Ordering guarantees:
+//! 1. events fire in non-decreasing time order;
+//! 2. events at the same instant fire in ascending [`Priority`] order;
+//! 3. ties in time *and* priority fire in scheduling order (FIFO).
+
+use crate::time::{SimDuration, SimTime};
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Secondary ordering key for events that fire at the same instant.
+///
+/// The time-triggered network model relies on this: within one instant, the
+/// physical bus processes transmissions (low values) before observers sample
+/// the interface state (high values).
+pub type Priority = u16;
+
+/// Default priority for events that do not care about intra-instant order.
+pub const DEFAULT_PRIORITY: Priority = 100;
+
+/// A simulation model: owns all mutable world state and reacts to events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handles one event. New events are scheduled through `ctx`.
+    fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+}
+
+/// Scheduling context handed to [`Model::handle`].
+///
+/// Collects newly scheduled events; the engine merges them into the queue
+/// after the handler returns, which keeps the borrow structure simple and
+/// the queue mutation single-sited.
+pub struct Context<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, Priority, E)>,
+    stop: bool,
+}
+
+impl<E> Context<E> {
+    /// The current simulation instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` with default priority.
+    ///
+    /// Panics if `at` lies in the past.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_at_prio(at, DEFAULT_PRIORITY, event);
+    }
+
+    /// Schedules `event` at absolute time `at` with an explicit priority.
+    #[inline]
+    pub fn schedule_at_prio(&mut self, at: SimTime, prio: Priority, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.pending.push((at, prio, event));
+    }
+
+    /// Schedules `event` after a delay from the current instant.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` after a delay, with an explicit priority.
+    #[inline]
+    pub fn schedule_in_prio(&mut self, delay: SimDuration, prio: Priority, event: E) {
+        self.schedule_at_prio(self.now + delay, prio, event);
+    }
+
+    /// Requests the engine to stop after the current handler returns.
+    #[inline]
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    prio: Priority,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        (other.at, other.prio, other.seq).cmp(&(self.at, self.prio, self.seq))
+    }
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon was reached.
+    QueueEmpty,
+    /// The horizon was reached; events beyond it remain queued.
+    HorizonReached,
+    /// The model requested a stop via [`Context::stop`].
+    Stopped,
+    /// The configured event budget was exhausted (runaway protection).
+    BudgetExhausted,
+}
+
+/// The discrete-event engine.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: BinaryHeap<Scheduled<M::Event>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    /// Maximum number of events to process in a single `run_until` call;
+    /// guards against accidental infinite self-scheduling loops in tests.
+    pub event_budget: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero around `model`.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Read access to the model.
+    #[inline]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to attach probes between phases).
+    #[inline]
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Current simulation time (time of the last processed event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently queued.
+    #[inline]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event from outside a handler (setup phase).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        self.schedule_at_prio(at, DEFAULT_PRIORITY, event);
+    }
+
+    /// Schedules an event with explicit priority from outside a handler.
+    pub fn schedule_at_prio(&mut self, at: SimTime, prio: Priority, event: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, prio, seq, event });
+    }
+
+    /// Runs until the queue drains, the model stops, or `horizon` is
+    /// reached (events at exactly `horizon` still fire).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut budget = self.event_budget;
+        loop {
+            let Some(top) = self.queue.peek() else {
+                return RunOutcome::QueueEmpty;
+            };
+            if top.at > horizon {
+                // Do not advance `now` past the horizon; callers may resume.
+                return RunOutcome::HorizonReached;
+            }
+            if budget == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            budget -= 1;
+            let sch = self.queue.pop().expect("peeked");
+            debug_assert!(sch.at >= self.now, "time went backwards");
+            self.now = sch.at;
+            self.processed += 1;
+
+            let mut ctx = Context { now: self.now, pending: Vec::new(), stop: false };
+            self.model.handle(&mut ctx, sch.event);
+            for (at, prio, event) in ctx.pending {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Scheduled { at, prio, seq, event });
+            }
+            if ctx.stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Runs a bounded number of events regardless of time.
+    pub fn step(&mut self, max_events: u64) -> RunOutcome {
+        let saved = self.event_budget;
+        self.event_budget = max_events;
+        let out = self.run_until(SimTime::MAX);
+        self.event_budget = saved;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+        stop_on: Option<u32>,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Tag(u32),
+        Chain { tag: u32, period: SimDuration, remaining: u32 },
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Context<Ev>, event: Ev) {
+            match event {
+                Ev::Tag(t) => {
+                    self.log.push((ctx.now().as_nanos(), t));
+                    if self.stop_on == Some(t) {
+                        ctx.stop();
+                    }
+                }
+                Ev::Chain { tag, period, remaining } => {
+                    self.log.push((ctx.now().as_nanos(), tag));
+                    if remaining > 0 {
+                        ctx.schedule_in(period, Ev::Chain { tag, period, remaining: remaining - 1 });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.schedule_at(SimTime::from_nanos(30), Ev::Tag(3));
+        eng.schedule_at(SimTime::from_nanos(10), Ev::Tag(1));
+        eng.schedule_at(SimTime::from_nanos(20), Ev::Tag(2));
+        assert_eq!(eng.run_until(SimTime::MAX), RunOutcome::QueueEmpty);
+        assert_eq!(eng.model().log, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(eng.processed(), 3);
+    }
+
+    #[test]
+    fn same_instant_orders_by_priority_then_fifo() {
+        let mut eng = Engine::new(Recorder::default());
+        let t = SimTime::from_nanos(5);
+        eng.schedule_at_prio(t, 200, Ev::Tag(30));
+        eng.schedule_at_prio(t, 100, Ev::Tag(10));
+        eng.schedule_at_prio(t, 100, Ev::Tag(11));
+        eng.schedule_at_prio(t, 0, Ev::Tag(1));
+        eng.run_until(SimTime::MAX);
+        let tags: Vec<u32> = eng.model().log.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 10, 11, 30]);
+    }
+
+    #[test]
+    fn horizon_pauses_and_resumes() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.schedule_at(SimTime::from_nanos(10), Ev::Tag(1));
+        eng.schedule_at(SimTime::from_nanos(30), Ev::Tag(2));
+        assert_eq!(eng.run_until(SimTime::from_nanos(20)), RunOutcome::HorizonReached);
+        assert_eq!(eng.model().log, vec![(10, 1)]);
+        assert_eq!(eng.run_until(SimTime::from_nanos(40)), RunOutcome::QueueEmpty);
+        assert_eq!(eng.model().log, vec![(10, 1), (30, 2)]);
+    }
+
+    #[test]
+    fn self_scheduling_chain() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { tag: 7, period: SimDuration::from_nanos(100), remaining: 4 },
+        );
+        eng.run_until(SimTime::MAX);
+        let times: Vec<u64> = eng.model().log.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        let mut eng = Engine::new(Recorder { stop_on: Some(2), ..Default::default() });
+        eng.schedule_at(SimTime::from_nanos(1), Ev::Tag(1));
+        eng.schedule_at(SimTime::from_nanos(2), Ev::Tag(2));
+        eng.schedule_at(SimTime::from_nanos(3), Ev::Tag(3));
+        assert_eq!(eng.run_until(SimTime::MAX), RunOutcome::Stopped);
+        assert_eq!(eng.model().log.len(), 2);
+        // Remaining event is still queued and can be resumed.
+        assert_eq!(eng.queued(), 1);
+    }
+
+    #[test]
+    fn budget_guards_runaway() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.schedule_at(
+            SimTime::ZERO,
+            Ev::Chain { tag: 0, period: SimDuration::from_nanos(1), remaining: u32::MAX },
+        );
+        assert_eq!(eng.step(1000), RunOutcome::BudgetExhausted);
+        assert_eq!(eng.processed(), 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.schedule_at(SimTime::from_nanos(10), Ev::Tag(1));
+        eng.run_until(SimTime::MAX);
+        eng.schedule_at(SimTime::from_nanos(5), Ev::Tag(2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the simulation kernel substrate.
+
+use decos_sim::stats::{quantile, Histogram, Running};
+use decos_sim::{Context, Engine, Model, SeedSource, SimDuration, SimTime};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Kernel ordering
+// ---------------------------------------------------------------------------
+
+struct Collector {
+    fired: Vec<(u64, u16, u32)>,
+}
+
+struct Tagged {
+    tag: u32,
+}
+
+impl Model for Collector {
+    type Event = Tagged;
+    fn handle(&mut self, ctx: &mut Context<Tagged>, event: Tagged) {
+        self.fired.push((ctx.now().as_nanos(), 0, event.tag));
+    }
+}
+
+proptest! {
+    #[test]
+    fn kernel_delivers_every_event_in_time_order(
+        schedule in proptest::collection::vec((0u64..1_000_000, 0u16..4), 1..200)
+    ) {
+        let mut eng = Engine::new(Collector { fired: Vec::new() });
+        for (i, &(at, prio)) in schedule.iter().enumerate() {
+            eng.schedule_at_prio(SimTime::from_nanos(at), prio, Tagged { tag: i as u32 });
+        }
+        eng.run_until(SimTime::MAX);
+        let fired = &eng.model().fired;
+        prop_assert_eq!(fired.len(), schedule.len(), "no event lost or duplicated");
+        // Non-decreasing firing times.
+        prop_assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Same-instant events fired in (priority, submission) order.
+        for w in fired.windows(2) {
+            if w[0].0 == w[1].0 {
+                let p0 = schedule[w[0].2 as usize].1;
+                let p1 = schedule[w[1].2 as usize].1;
+                prop_assert!(p0 < p1 || (p0 == p1 && w[0].2 < w[1].2));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_horizon_split_equals_single_run(
+        schedule in proptest::collection::vec(0u64..1_000_000, 1..100),
+        split in 0u64..1_000_000,
+    ) {
+        let run = |horizons: &[u64]| {
+            let mut eng = Engine::new(Collector { fired: Vec::new() });
+            for (i, &at) in schedule.iter().enumerate() {
+                eng.schedule_at(SimTime::from_nanos(at), Tagged { tag: i as u32 });
+            }
+            for &h in horizons {
+                eng.run_until(SimTime::from_nanos(h));
+            }
+            eng.run_until(SimTime::MAX);
+            eng.into_model().fired
+        };
+        prop_assert_eq!(run(&[]), run(&[split]), "pausing at a horizon must not change the trace");
+    }
+
+    // -----------------------------------------------------------------------
+    // Time arithmetic
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn align_brackets_the_instant(t in 0u64..u64::MAX / 2, g in 1u64..1_000_000_000) {
+        let granule = SimDuration::from_nanos(g);
+        let t = SimTime::from_nanos(t);
+        let down = t.align_down(granule);
+        let up = t.align_up(granule);
+        prop_assert!(down <= t && t <= up);
+        prop_assert_eq!(down.as_nanos() % g, 0);
+        prop_assert_eq!(up.as_nanos() % g, 0);
+        prop_assert!(up.as_nanos() - down.as_nanos() <= g);
+    }
+
+    // -----------------------------------------------------------------------
+    // Streaming statistics
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn running_merge_is_associative_enough(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        cut in 0usize..100,
+    ) {
+        let cut = cut.min(xs.len());
+        let mut whole = Running::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = Running::new();
+        let mut b = Running::new();
+        xs[..cut].iter().for_each(|&x| a.push(x));
+        xs[cut..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-3 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn histogram_conserves_counts(
+        xs in proptest::collection::vec(-100.0f64..200.0, 0..500),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        xs.iter().for_each(|&x| h.push(x));
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&mut xs, lo);
+        let b = quantile(&mut xs, hi);
+        prop_assert!(a <= b);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    // -----------------------------------------------------------------------
+    // Seeded streams
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn streams_reproduce_and_child_indices_do_not_collide(
+        master in any::<u64>(),
+        name in "[a-z]{1,12}",
+        idx in 0u64..1000,
+    ) {
+        use rand::RngExt as _;
+        let s = SeedSource::new(master);
+        let a: u64 = s.stream(&name, idx).random();
+        let b: u64 = s.stream(&name, idx).random();
+        prop_assert_eq!(a, b);
+        prop_assert_ne!(s.child(idx).master(), s.child(idx + 1).master());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fault-tolerant clock synchronization (core service C2).
+//!
+//! The DECOS core architecture requires fault-tolerant internal clock
+//! synchronization so that the cluster possesses a *global time base* of
+//! known precision. We implement the classic Fault-Tolerant Average (FTA)
+//! convergence algorithm used by time-triggered architectures: each node
+//! measures the deviation of every other node's clock from its own (from
+//! the deterministic arrival instants of TDMA frames), discards the `k`
+//! largest and `k` smallest measurements, and corrects its clock by the
+//! average of the remainder. With `n ≥ 3k + 1` nodes the algorithm
+//! tolerates `k` arbitrarily faulty clocks.
+
+use crate::clock::LocalNanos;
+use serde::{Deserialize, Serialize};
+
+/// Result of one FTA convergence round at a single node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncRound {
+    /// Correction to apply to the local clock, nanoseconds.
+    pub correction_ns: i64,
+    /// Number of deviation measurements used after discarding extremes.
+    pub used: usize,
+    /// Largest absolute deviation among the *used* measurements; an estimate
+    /// of the current cluster precision as seen by this node.
+    pub observed_precision_ns: u64,
+}
+
+/// Errors from a convergence round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncError {
+    /// Not enough measurements to tolerate `k` faulty clocks (`n < 2k + 1`
+    /// after the local measurement is included).
+    InsufficientMeasurements {
+        /// measurements available
+        have: usize,
+        /// measurements required
+        need: usize,
+    },
+}
+
+/// Fault-Tolerant Average convergence function.
+///
+/// `deviations` holds, for each *other* node whose frame was received in the
+/// last round, the measured deviation `their_clock - my_clock` in
+/// nanoseconds. `k` is the number of faulty clocks to tolerate.
+///
+/// Returns the correction this node should apply (half the FTA average, the
+/// usual damping that avoids overshoot when all nodes correct at once), or
+/// an error when too few measurements survive.
+pub fn fta_round(deviations: &[LocalNanos], k: usize) -> Result<SyncRound, SyncError> {
+    let need = 2 * k + 1;
+    if deviations.len() < need {
+        return Err(SyncError::InsufficientMeasurements { have: deviations.len(), need });
+    }
+    let mut sorted = deviations.to_vec();
+    sorted.sort_unstable();
+    let used = &sorted[k..sorted.len() - k];
+    let sum: i128 = used.iter().map(|&d| d as i128).sum();
+    let avg = (sum / used.len() as i128) as i64;
+    let observed_precision_ns =
+        used.iter().map(|&d| d.unsigned_abs()).max().expect("non-empty by construction");
+    Ok(SyncRound { correction_ns: avg / 2, used: used.len(), observed_precision_ns })
+}
+
+/// Precision bound of the FTA algorithm.
+///
+/// `Π = (ε + 2ρ·R_int) · (1 + …)` — we use the standard first-order bound
+/// `Π ≈ 2ρR + ε` where `ρ` is the maximum drift rate (unitless, e.g.
+/// `100e-6` for 100 ppm), `R` the resynchronization interval in ns and `ε`
+/// the reading-error bound in ns.
+pub fn precision_bound_ns(max_drift_ppm: f64, resync_interval_ns: u64, reading_error_ns: u64) -> u64 {
+    let rho = max_drift_ppm.abs() * 1e-6;
+    (2.0 * rho * resync_interval_ns as f64).ceil() as u64 + reading_error_ns
+}
+
+/// Synchronization status of one node, updated after each resync round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncStatus {
+    /// Deviation within the cluster precision; node participates in the
+    /// global time base.
+    Synchronized,
+    /// Deviation exceeded the precision window; the node must restart its
+    /// clock state (and the event is an observable symptom).
+    SyncLost,
+}
+
+/// Tracks a node's synchronization state across rounds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncMonitor {
+    precision_ns: u64,
+    status: SyncStatus,
+    lost_count: u64,
+}
+
+impl SyncMonitor {
+    /// Creates a monitor with the cluster precision bound.
+    pub fn new(precision_ns: u64) -> Self {
+        SyncMonitor { precision_ns, status: SyncStatus::Synchronized, lost_count: 0 }
+    }
+
+    /// The configured precision window in nanoseconds.
+    pub fn precision_ns(&self) -> u64 {
+        self.precision_ns
+    }
+
+    /// Current status.
+    pub fn status(&self) -> SyncStatus {
+        self.status
+    }
+
+    /// Number of synchronization losses observed so far.
+    pub fn lost_count(&self) -> u64 {
+        self.lost_count
+    }
+
+    /// Feeds the outcome of a resync round: the node's own deviation from
+    /// the corrected cluster average. Returns the new status.
+    pub fn observe(&mut self, own_deviation_ns: i64) -> SyncStatus {
+        if own_deviation_ns.unsigned_abs() > self.precision_ns {
+            if self.status == SyncStatus::Synchronized {
+                self.lost_count += 1;
+            }
+            self.status = SyncStatus::SyncLost;
+        } else {
+            self.status = SyncStatus::Synchronized;
+        }
+        self.status
+    }
+
+    /// Resets after a component restart with state synchronization.
+    pub fn resynchronize(&mut self) {
+        self.status = SyncStatus::Synchronized;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fta_averages_symmetric_deviations() {
+        // Peers at +100 and -100: average 0 → no correction.
+        let r = fta_round(&[100, -100, 0], 0).unwrap();
+        assert_eq!(r.correction_ns, 0);
+        assert_eq!(r.used, 3);
+        assert_eq!(r.observed_precision_ns, 100);
+    }
+
+    #[test]
+    fn fta_discards_extremes() {
+        // One byzantine clock claims +1e9; k=1 discards it (and the min).
+        let r = fta_round(&[1_000_000_000, 10, 20, 30, -10], 1).unwrap();
+        assert_eq!(r.used, 3);
+        // remaining: 10, 20, 30 → avg 20 → damped correction 10.
+        assert_eq!(r.correction_ns, 10);
+        assert!(r.observed_precision_ns <= 30);
+    }
+
+    #[test]
+    fn fta_requires_enough_measurements() {
+        assert_eq!(
+            fta_round(&[1, 2], 1),
+            Err(SyncError::InsufficientMeasurements { have: 2, need: 3 })
+        );
+        assert!(fta_round(&[1, 2, 3], 1).is_ok());
+        assert!(fta_round(&[], 0).is_err());
+    }
+
+    #[test]
+    fn fta_tolerates_k_faulty() {
+        // n=7 good clocks tightly grouped, k=2 faulty with huge deviations:
+        // the correction must stay within the good-clock envelope.
+        let devs = [i64::MAX / 2, i64::MIN / 2, 5, -5, 3, -3, 0, 2, -2];
+        let r = fta_round(&devs, 2).unwrap();
+        assert!(r.correction_ns.abs() <= 5, "correction {} escaped envelope", r.correction_ns);
+    }
+
+    #[test]
+    fn precision_bound_formula() {
+        // 100 ppm, 10 ms resync, 1 us reading error:
+        // 2 * 1e-4 * 1e7 ns = 2000 ns + 1000 ns = 3000 ns.
+        assert_eq!(precision_bound_ns(100.0, 10_000_000, 1_000), 3_000);
+        assert_eq!(precision_bound_ns(0.0, 10_000_000, 500), 500);
+    }
+
+    #[test]
+    fn monitor_detects_and_counts_sync_loss() {
+        let mut m = SyncMonitor::new(1_000);
+        assert_eq!(m.observe(500), SyncStatus::Synchronized);
+        assert_eq!(m.observe(-999), SyncStatus::Synchronized);
+        assert_eq!(m.observe(1_500), SyncStatus::SyncLost);
+        assert_eq!(m.lost_count(), 1);
+        // Staying lost does not double-count.
+        assert_eq!(m.observe(2_000), SyncStatus::SyncLost);
+        assert_eq!(m.lost_count(), 1);
+        // Recovery, then a second loss increments again.
+        assert_eq!(m.observe(0), SyncStatus::Synchronized);
+        assert_eq!(m.observe(-5_000), SyncStatus::SyncLost);
+        assert_eq!(m.lost_count(), 2);
+        m.resynchronize();
+        assert_eq!(m.status(), SyncStatus::Synchronized);
+    }
+}

@@ -1,0 +1,283 @@
+//! Broadcast channel model.
+//!
+//! Resolves, per TDMA slot, what every receiver observes given the sender's
+//! behaviour and the disturbances currently acting on the channel. The
+//! resolution is a pure function — the discrete-event orchestration lives in
+//! `decos-platform` — which keeps the protocol logic independently testable.
+//!
+//! Disturbance inputs come from the fault-injection engine (`decos-faults`):
+//! a transmit-side disturbance (sender component fault: silence, wrong
+//! timing, corrupted content at the source) and per-receiver disturbances
+//! (spatially local effects such as an EMI burst near a subset of
+//! components, or a marginal connector at one receiver's stub).
+
+use crate::frame::{Frame, SlotObservation};
+use crate::guardian::{BusGuardian, GuardianMode, GuardianVerdict};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Sender-side behaviour in a slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxAttempt {
+    /// The frame the component attempts to send; `None` models a silent
+    /// (crashed, powered-down or restarting) component.
+    pub frame: Option<Frame>,
+    /// Deviation of the actual send instant from the nominal slot start
+    /// (clock drift beyond sync, or a timing failure of the sender), ns.
+    pub offset_ns: i64,
+    /// Bits corrupted *at the source* (internal fault between host CPU and
+    /// communication controller), applied before transmission.
+    pub source_corrupt_bits: u32,
+}
+
+impl TxAttempt {
+    /// A nominal transmission of `frame`.
+    pub fn nominal(frame: Frame) -> Self {
+        TxAttempt { frame: Some(frame), offset_ns: 0, source_corrupt_bits: 0 }
+    }
+
+    /// A silent slot (no transmission attempt).
+    pub fn silent() -> Self {
+        TxAttempt { frame: None, offset_ns: 0, source_corrupt_bits: 0 }
+    }
+}
+
+/// Receiver-side disturbance for one slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RxDisturbance {
+    /// The receiver's stub loses the signal entirely (connector
+    /// micro-interruption, local EMI saturation).
+    pub omit: bool,
+    /// Number of payload bits flipped on the path to this receiver.
+    pub corrupt_bits: u32,
+}
+
+impl RxDisturbance {
+    /// No disturbance.
+    pub const NONE: RxDisturbance = RxDisturbance { omit: false, corrupt_bits: 0 };
+}
+
+/// Static parameters of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelParams {
+    /// Guardian configuration on the transmit path.
+    pub guardian: GuardianMode,
+    /// Half-width of the receivers' acceptance window around the nominal
+    /// receive instant, ns. Valid frames outside it are timing violations.
+    pub rx_window_half_ns: u64,
+}
+
+impl Default for ChannelParams {
+    fn default() -> Self {
+        ChannelParams {
+            guardian: GuardianMode::Enforcing { window_half_ns: 10_000 },
+            rx_window_half_ns: 10_000,
+        }
+    }
+}
+
+/// The broadcast channel: resolves slot outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BroadcastBus {
+    params: ChannelParams,
+    guardian: BusGuardian,
+}
+
+impl BroadcastBus {
+    /// Creates a bus with the given parameters.
+    pub fn new(params: ChannelParams) -> Self {
+        BroadcastBus { params, guardian: BusGuardian::new() }
+    }
+
+    /// Channel parameters.
+    pub fn params(&self) -> &ChannelParams {
+        &self.params
+    }
+
+    /// Guardian intervention counters (diagnostic interface state).
+    pub fn guardian(&self) -> &BusGuardian {
+        &self.guardian
+    }
+
+    /// Resolves one slot: what does each of the `receivers.len()` receivers
+    /// observe?
+    ///
+    /// `rng` drives the placement of corrupted bits; all *whether* decisions
+    /// (omit or not, how many bits) were already made by the injection
+    /// engine and arrive here as data.
+    pub fn resolve_slot(
+        &mut self,
+        tx: &TxAttempt,
+        receivers: &[RxDisturbance],
+        rng: &mut SmallRng,
+    ) -> Vec<SlotObservation> {
+        // 1. Sender silent → everyone sees an omission.
+        let Some(frame) = &tx.frame else {
+            return vec![SlotObservation::Omission; receivers.len()];
+        };
+
+        // 2. Source-side corruption happens before the wire.
+        let mut wire_frame = frame.clone();
+        if tx.source_corrupt_bits > 0 {
+            wire_frame.corrupt_payload_bits(tx.source_corrupt_bits, rng);
+        }
+
+        // 3. Guardian judges the send instant.
+        let verdict = self.guardian.judge(self.params.guardian, true, tx.offset_ns);
+        match verdict {
+            GuardianVerdict::CutForeignSlot | GuardianVerdict::CutOffTiming { .. } => {
+                return vec![SlotObservation::Omission; receivers.len()];
+            }
+            GuardianVerdict::Pass => {}
+        }
+
+        // 4. Per-receiver path effects.
+        receivers
+            .iter()
+            .map(|rx| {
+                if rx.omit {
+                    return SlotObservation::Omission;
+                }
+                let mut seen = wire_frame.clone();
+                if rx.corrupt_bits > 0 {
+                    seen.corrupt_payload_bits(rx.corrupt_bits, rng);
+                }
+                if !seen.is_valid() {
+                    return SlotObservation::InvalidCrc { claimed_sender: seen.sender };
+                }
+                if tx.offset_ns.unsigned_abs() > self.params.rx_window_half_ns {
+                    return SlotObservation::TimingViolation {
+                        frame: seen,
+                        offset_ns: tx.offset_ns,
+                    };
+                }
+                SlotObservation::Correct(seen)
+            })
+            .collect()
+    }
+
+    /// Judges a transmission attempted *outside* the sender's slot (babbling
+    /// idiot). With an enforcing guardian this never reaches the channel;
+    /// without one, receivers would observe interference — modelled as
+    /// corrupting the legitimate slot into CRC failures. Returns whether the
+    /// babble reached the channel.
+    pub fn babble(&mut self) -> bool {
+        matches!(
+            self.guardian.judge(self.params.guardian, false, 0),
+            GuardianVerdict::Pass
+        )
+    }
+}
+
+/// Helper to resolve what a set of receivers should observe for a fully
+/// nominal slot — used by tests and by fast-path simulation when no fault is
+/// active (the common case; skipping the generic path keeps long fleet runs
+/// cheap, cf. the perf guidance on fast paths).
+pub fn nominal_observation(frame: &Frame, receivers: usize) -> Vec<SlotObservation> {
+    vec![SlotObservation::Correct(frame.clone()); receivers]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::NodeId;
+    use crate::schedule::SlotIndex;
+    use decos_sim::SeedSource;
+
+    fn frame() -> Frame {
+        Frame::new(NodeId(1), 3, SlotIndex(1), vec![1, 2, 3, 4, 5, 6, 7, 8])
+    }
+
+    fn rng() -> SmallRng {
+        SeedSource::new(42).stream("bus", 0)
+    }
+
+    #[test]
+    fn nominal_slot_delivers_to_all() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let obs = bus.resolve_slot(&TxAttempt::nominal(frame()), &[RxDisturbance::NONE; 3], &mut rng());
+        assert_eq!(obs.len(), 3);
+        assert!(obs.iter().all(|o| o.is_correct()));
+    }
+
+    #[test]
+    fn silent_sender_is_omission_everywhere() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let obs = bus.resolve_slot(&TxAttempt::silent(), &[RxDisturbance::NONE; 4], &mut rng());
+        assert!(obs.iter().all(|o| *o == SlotObservation::Omission));
+    }
+
+    #[test]
+    fn source_corruption_fails_crc_for_all() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let tx = TxAttempt { frame: Some(frame()), offset_ns: 0, source_corrupt_bits: 3 };
+        let obs = bus.resolve_slot(&tx, &[RxDisturbance::NONE; 2], &mut rng());
+        for o in obs {
+            assert_eq!(o, SlotObservation::InvalidCrc { claimed_sender: NodeId(1) });
+        }
+    }
+
+    #[test]
+    fn receiver_local_corruption_is_local() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let rx = [RxDisturbance::NONE, RxDisturbance { omit: false, corrupt_bits: 2 }];
+        let obs = bus.resolve_slot(&TxAttempt::nominal(frame()), &rx, &mut rng());
+        assert!(obs[0].is_correct());
+        assert!(matches!(obs[1], SlotObservation::InvalidCrc { .. }));
+    }
+
+    #[test]
+    fn receiver_local_omission_is_local() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let rx = [RxDisturbance { omit: true, corrupt_bits: 0 }, RxDisturbance::NONE];
+        let obs = bus.resolve_slot(&TxAttempt::nominal(frame()), &rx, &mut rng());
+        assert_eq!(obs[0], SlotObservation::Omission);
+        assert!(obs[1].is_correct());
+    }
+
+    #[test]
+    fn guardian_converts_gross_timing_failure_into_omission() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let tx = TxAttempt { frame: Some(frame()), offset_ns: 50_000, source_corrupt_bits: 0 };
+        let obs = bus.resolve_slot(&tx, &[RxDisturbance::NONE; 2], &mut rng());
+        assert!(obs.iter().all(|o| *o == SlotObservation::Omission));
+        assert_eq!(bus.guardian().cut_timing(), 1);
+    }
+
+    #[test]
+    fn without_guardian_receivers_see_timing_violation() {
+        let params = ChannelParams { guardian: GuardianMode::None, rx_window_half_ns: 10_000 };
+        let mut bus = BroadcastBus::new(params);
+        let tx = TxAttempt { frame: Some(frame()), offset_ns: 50_000, source_corrupt_bits: 0 };
+        let obs = bus.resolve_slot(&tx, &[RxDisturbance::NONE; 1], &mut rng());
+        assert!(matches!(obs[0], SlotObservation::TimingViolation { offset_ns: 50_000, .. }));
+    }
+
+    #[test]
+    fn small_offsets_within_window_are_correct() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let tx = TxAttempt { frame: Some(frame()), offset_ns: 5_000, source_corrupt_bits: 0 };
+        let obs = bus.resolve_slot(&tx, &[RxDisturbance::NONE; 1], &mut rng());
+        assert!(obs[0].is_correct());
+    }
+
+    #[test]
+    fn babble_blocked_by_guardian_but_not_without() {
+        let mut guarded = BroadcastBus::new(ChannelParams::default());
+        assert!(!guarded.babble());
+        assert_eq!(guarded.guardian().cut_foreign(), 1);
+        let mut open = BroadcastBus::new(ChannelParams {
+            guardian: GuardianMode::None,
+            rx_window_half_ns: 10_000,
+        });
+        assert!(open.babble());
+    }
+
+    #[test]
+    fn nominal_helper_matches_resolution() {
+        let mut bus = BroadcastBus::new(ChannelParams::default());
+        let via_bus =
+            bus.resolve_slot(&TxAttempt::nominal(frame()), &[RxDisturbance::NONE; 3], &mut rng());
+        assert_eq!(nominal_observation(&frame(), 3), via_bus);
+    }
+}

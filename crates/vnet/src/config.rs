@@ -1,0 +1,158 @@
+//! Virtual-network configuration records.
+//!
+//! The configuration of a distributed embedded real-time system is
+//! tool-derived from a communication model (§IV-B.2). When that model rests
+//! on assumptions that do not hold — typically implicit assumptions of
+//! legacy applications — the resulting configuration is *wrong even though
+//! every component works as specified*. The paper classifies such
+//! misconfigurations as **job borderline faults**; the observable
+//! manifestation is queue overflow / message loss while all senders conform
+//! to their send distributions.
+
+use crate::port::PortKind;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a virtual network within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VnetId(pub u16);
+
+impl core::fmt::Display for VnetId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "VN{}", self.0)
+    }
+}
+
+/// Static configuration of one virtual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VnetConfig {
+    /// Network identity.
+    pub id: VnetId,
+    /// Communication semantics of the network's ports.
+    pub kind: PortKind,
+    /// Segment allocation in each owning component's TDMA frame, bytes.
+    /// This is the network's bandwidth share; fixed a priori so that
+    /// networks cannot interfere (encapsulation).
+    pub bytes_per_slot: usize,
+    /// Transmit queue depth (event networks; ignored for state networks).
+    pub tx_queue_depth: usize,
+    /// Receive queue depth per input port (event networks).
+    pub rx_queue_depth: usize,
+}
+
+impl VnetConfig {
+    /// A state-semantics network configuration.
+    pub fn state(id: VnetId, bytes_per_slot: usize) -> Self {
+        VnetConfig { id, kind: PortKind::State, bytes_per_slot, tx_queue_depth: 1, rx_queue_depth: 1 }
+    }
+
+    /// An event-semantics network configuration.
+    pub fn event(id: VnetId, bytes_per_slot: usize, tx_depth: usize, rx_depth: usize) -> Self {
+        VnetConfig {
+            id,
+            kind: PortKind::Event,
+            bytes_per_slot,
+            tx_queue_depth: tx_depth,
+            rx_queue_depth: rx_depth,
+        }
+    }
+
+    /// Messages that fit into one slot segment under this configuration.
+    pub fn messages_per_slot(&self) -> usize {
+        crate::codec::segment_message_capacity(self.bytes_per_slot)
+    }
+}
+
+/// A deliberate configuration defect, applied by the fault-injection engine
+/// to create ground-truth *job borderline* faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConfigDefect {
+    /// Receive queues dimensioned smaller than the communication model
+    /// requires (divide by `factor`, floor at 1).
+    UnderDimensionedRxQueue {
+        /// Shrink factor (> 1).
+        factor: u32,
+    },
+    /// Transmit queues dimensioned too small.
+    UnderDimensionedTxQueue {
+        /// Shrink factor (> 1).
+        factor: u32,
+    },
+    /// Bandwidth allocation below the sender's actual rate (shrinks the
+    /// per-slot segment).
+    InsufficientBandwidth {
+        /// Shrink factor (> 1).
+        factor: u32,
+    },
+}
+
+impl ConfigDefect {
+    /// Applies the defect to a correct configuration, producing the faulty
+    /// one that will be deployed.
+    pub fn apply(&self, correct: &VnetConfig) -> VnetConfig {
+        let mut c = *correct;
+        match *self {
+            ConfigDefect::UnderDimensionedRxQueue { factor } => {
+                c.rx_queue_depth = (c.rx_queue_depth / factor as usize).max(1);
+            }
+            ConfigDefect::UnderDimensionedTxQueue { factor } => {
+                c.tx_queue_depth = (c.tx_queue_depth / factor as usize).max(1);
+            }
+            ConfigDefect::InsufficientBandwidth { factor } => {
+                // Keep at least the segment header so the network still
+                // formally exists.
+                c.bytes_per_slot = (c.bytes_per_slot / factor as usize).max(2);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::MESSAGE_WIRE_BYTES;
+
+    #[test]
+    fn builders() {
+        let s = VnetConfig::state(VnetId(1), 64);
+        assert_eq!(s.kind, PortKind::State);
+        let e = VnetConfig::event(VnetId(2), 128, 8, 16);
+        assert_eq!(e.kind, PortKind::Event);
+        assert_eq!(e.tx_queue_depth, 8);
+        assert_eq!(e.rx_queue_depth, 16);
+    }
+
+    #[test]
+    fn message_capacity() {
+        let c = VnetConfig::state(VnetId(1), 2 + 3 * MESSAGE_WIRE_BYTES);
+        assert_eq!(c.messages_per_slot(), 3);
+    }
+
+    #[test]
+    fn rx_queue_defect() {
+        let good = VnetConfig::event(VnetId(1), 128, 8, 16);
+        let bad = ConfigDefect::UnderDimensionedRxQueue { factor: 4 }.apply(&good);
+        assert_eq!(bad.rx_queue_depth, 4);
+        assert_eq!(bad.tx_queue_depth, 8, "other fields untouched");
+        // Floors at 1.
+        let worst = ConfigDefect::UnderDimensionedRxQueue { factor: 1000 }.apply(&good);
+        assert_eq!(worst.rx_queue_depth, 1);
+    }
+
+    #[test]
+    fn tx_queue_defect() {
+        let good = VnetConfig::event(VnetId(1), 128, 8, 16);
+        let bad = ConfigDefect::UnderDimensionedTxQueue { factor: 2 }.apply(&good);
+        assert_eq!(bad.tx_queue_depth, 4);
+    }
+
+    #[test]
+    fn bandwidth_defect() {
+        let good = VnetConfig::event(VnetId(1), 2 + 4 * MESSAGE_WIRE_BYTES, 8, 16);
+        let bad = ConfigDefect::InsufficientBandwidth { factor: 2 }.apply(&good);
+        assert!(bad.messages_per_slot() < good.messages_per_slot());
+        let worst = ConfigDefect::InsufficientBandwidth { factor: 10_000 }.apply(&good);
+        assert_eq!(worst.bytes_per_slot, 2);
+        assert_eq!(worst.messages_per_slot(), 0);
+    }
+}

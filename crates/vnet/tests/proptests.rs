@@ -1,0 +1,142 @@
+//! Property tests for the virtual-network substrate.
+
+use decos_sim::SimTime;
+use decos_vnet::{
+    ConfigDefect, EventPort, Message, PortId, PushOutcome, VnetConfig, VnetEndpoint, VnetId,
+    MESSAGE_WIRE_BYTES,
+};
+use proptest::prelude::*;
+
+fn msg(src: u32, seq: u64) -> Message {
+    Message { src: PortId(src), seq, sent_at: SimTime::from_micros(seq), value: seq as f64 }
+}
+
+proptest! {
+    // ------------------- event port queue laws ------------------------------
+
+    #[test]
+    fn event_port_conserves_messages(
+        depth in 1usize..32,
+        ops in proptest::collection::vec(any::<bool>(), 0..200), // true=push, false=pop
+    ) {
+        let mut q = EventPort::new(depth);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for (i, &push) in ops.iter().enumerate() {
+            if push {
+                if q.push(msg(1, i as u64)) == PushOutcome::Accepted {
+                    pushed += 1;
+                }
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+        }
+        prop_assert_eq!(pushed, q.accepted());
+        prop_assert_eq!(q.len() as u64, pushed - popped);
+        prop_assert!(q.len() <= depth);
+        prop_assert_eq!(q.accepted() + q.overflows(), ops.iter().filter(|&&p| p).count() as u64);
+    }
+
+    #[test]
+    fn event_port_is_fifo(
+        depth in 1usize..64,
+        n in 0u64..100,
+    ) {
+        let mut q = EventPort::new(depth);
+        for s in 0..n {
+            q.push(msg(1, s));
+        }
+        let mut last = None;
+        while let Some(m) = q.pop() {
+            if let Some(prev) = last {
+                prop_assert!(m.seq > prev);
+            }
+            last = Some(m.seq);
+        }
+    }
+
+    // ------------------- endpoint end-to-end --------------------------------
+
+    #[test]
+    fn event_endpoint_never_reorders_or_duplicates(
+        bytes in 0usize..512,
+        tx_depth in 1usize..64,
+        rx_depth in 1usize..64,
+        sends in 0u64..100,
+        slots in 1usize..50,
+    ) {
+        let cfg = VnetConfig::event(VnetId(1), bytes, tx_depth, rx_depth);
+        let mut tx = VnetEndpoint::new(cfg);
+        let mut rx = VnetEndpoint::new(cfg);
+        for s in 0..sends {
+            tx.send(msg(7, s));
+        }
+        for _ in 0..slots {
+            let mut seg = Vec::new();
+            tx.drain_into_segment(&mut seg);
+            let _ = rx.deliver_segment(&seg);
+        }
+        let got = rx.receive_events(PortId(7), usize::MAX);
+        // Strictly increasing seq (order preserved, no duplicates).
+        prop_assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Conservation: delivered + tx drops + rx drops + still queued = sent.
+        let delivered = got.len() as u64;
+        let in_tx = tx.tx_backlog() as u64;
+        prop_assert_eq!(
+            delivered + tx.tx_overflows() + rx.rx_overflows() + in_tx,
+            sends,
+            "loss accounting must balance"
+        );
+    }
+
+    #[test]
+    fn state_endpoint_always_reflects_latest(
+        updates in proptest::collection::vec(0u64..1_000, 1..50),
+    ) {
+        let cfg = VnetConfig::state(VnetId(2), 2 + MESSAGE_WIRE_BYTES);
+        let mut tx = VnetEndpoint::new(cfg);
+        let mut rx = VnetEndpoint::new(cfg);
+        for (i, &v) in updates.iter().enumerate() {
+            tx.send(Message {
+                src: PortId(1),
+                seq: i as u64,
+                sent_at: SimTime::from_micros(i as u64),
+                value: v as f64,
+            });
+            let mut seg = Vec::new();
+            tx.drain_into_segment(&mut seg);
+            rx.deliver_segment(&seg).unwrap();
+            prop_assert_eq!(rx.read_state(PortId(1)).unwrap().value, v as f64);
+        }
+        // State semantics never overflow.
+        prop_assert_eq!(tx.tx_overflows(), 0);
+        prop_assert_eq!(rx.rx_overflows(), 0);
+    }
+
+    // ------------------- configuration defects ------------------------------
+
+    #[test]
+    fn defects_only_shrink(
+        tx_depth in 1usize..64,
+        rx_depth in 1usize..64,
+        bytes in 2usize..512,
+        factor in 1u32..64,
+        which in 0u8..3,
+    ) {
+        let good = VnetConfig::event(VnetId(1), bytes, tx_depth, rx_depth);
+        let defect = match which {
+            0 => ConfigDefect::UnderDimensionedRxQueue { factor },
+            1 => ConfigDefect::UnderDimensionedTxQueue { factor },
+            _ => ConfigDefect::InsufficientBandwidth { factor },
+        };
+        let bad = defect.apply(&good);
+        prop_assert!(bad.rx_queue_depth <= good.rx_queue_depth);
+        prop_assert!(bad.tx_queue_depth <= good.tx_queue_depth);
+        prop_assert!(bad.bytes_per_slot <= good.bytes_per_slot);
+        prop_assert!(bad.rx_queue_depth >= 1);
+        prop_assert!(bad.tx_queue_depth >= 1);
+        prop_assert!(bad.bytes_per_slot >= 2);
+        prop_assert_eq!(bad.id, good.id);
+        prop_assert_eq!(bad.kind, good.kind);
+    }
+}

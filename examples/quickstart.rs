@@ -1,0 +1,65 @@
+//! Quickstart: build the reference cluster, let a component wear out,
+//! and read the diagnostic verdict.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use decos::prelude::*;
+
+fn main() {
+    // A solder joint in component 1 starts cracking: transient failures
+    // recur with increasing frequency, and an aging capacitor biases the
+    // hosted jobs' outputs — the classic wearout signature (Fig. 8).
+    let faults = decos::faults::campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0);
+
+    let campaign = Campaign::reference(faults, 1.0, 15_000, 42);
+    println!(
+        "simulating {} TDMA rounds ({:.0} s) on the Fig. 10 reference cluster...",
+        campaign.rounds,
+        campaign.rounds as f64 * 0.004
+    );
+    let outcome = run_campaign(&campaign).expect("valid reference spec");
+
+    println!(
+        "\nground truth: {} fault(s) injected, {} manifestation episodes",
+        outcome.injected.len(),
+        outcome.episodes
+    );
+    println!(
+        "diagnostic network: {} symptoms offered, {} delivered, {} dropped",
+        outcome.dissemination.offered,
+        outcome.dissemination.delivered,
+        outcome.dissemination.dropped
+    );
+
+    println!("\n=== integrated diagnosis (per-FRU verdicts, worst trust first) ===");
+    for v in &outcome.report.verdicts {
+        println!(
+            "  {:<8} trust={:.3} class={:<24} action={:<20} evidence={:.1}",
+            v.fru.to_string(),
+            v.trust,
+            v.class.map(|c| c.to_string()).unwrap_or_else(|| "(undecided)".into()),
+            v.action.map(|a| a.to_string()).unwrap_or_else(|| "(observe)".into()),
+            v.evidence,
+        );
+        for (pattern, count) in &v.patterns {
+            println!("      {pattern}: {count}");
+        }
+    }
+
+    println!("\n=== OBD baseline ===");
+    println!(
+        "  DTCs recorded: {}, replacements: {:?} (guesswork: {})",
+        outcome.obd.dtcs.len(),
+        outcome.obd.replacements,
+        outcome.obd.guesswork
+    );
+
+    let verdict = outcome
+        .report
+        .verdict_of(FruRef::Component(NodeId(1)))
+        .expect("the degrading component is assessed");
+    assert_eq!(verdict.action, Some(MaintenanceAction::ReplaceComponent));
+    println!("\n→ the integrated diagnosis prescribes replacing component 1 before it fails hard.");
+}

@@ -1,0 +1,59 @@
+//! Condition-based maintenance: watching trust trajectories (Fig. 9).
+//!
+//! Two components live through the same campaign: component 1 carries a
+//! developing internal fault (trajectory A — confidence in a specification
+//! violation grows), component 0 is healthy but sits in an EMI-noisy zone
+//! (trajectory B — trust dips under disturbances and recovers).
+//!
+//! ```sh
+//! cargo run --release --example wearout_monitor
+//! ```
+
+use decos::faults::{FaultKind, FaultSpec};
+use decos::prelude::*;
+
+fn sparkline(series: &[(f64, f64)]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    series
+        .iter()
+        .map(|&(_, t)| LEVELS[((t * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+fn main() {
+    let mut faults = decos::faults::campaign::wearout_campaign(NodeId(1), 100.0, 300_000.0);
+    faults.push(FaultSpec {
+        id: 99,
+        kind: FaultKind::EmiBurst {
+            rate_per_hour: 2_000.0,
+            duration_ms: 10.0,
+            center: Position { x: 0.2, y: 0.1 },
+            radius_m: 1.0,
+        },
+        target: FruRef::Component(NodeId(0)),
+        onset: SimTime::ZERO,
+    });
+
+    let campaign = Campaign::reference(faults, 1.0, 20_000, 11);
+    println!("sampling trust every 250 rounds over {} rounds...", campaign.rounds);
+    let series = trust_trajectories(
+        &campaign,
+        &[FruRef::Component(NodeId(1)), FruRef::Component(NodeId(0))],
+        250,
+    )
+    .expect("valid spec");
+
+    for (fru, s) in &series {
+        let last = s.last().map(|&(_, t)| t).unwrap_or(1.0);
+        println!("\n{fru}  final trust {last:.3}");
+        println!("  {}", sparkline(s));
+    }
+
+    let worn = series[0].1.last().expect("sampled").1;
+    let healthy = series[1].1.last().expect("sampled").1;
+    assert!(worn < healthy, "trajectory A must end below trajectory B");
+    println!(
+        "\n→ trajectory A (component 1, wearing out) degrades: {worn:.3}; \
+         trajectory B (component 0, EMI only) stays high: {healthy:.3}"
+    );
+}

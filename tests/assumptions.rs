@@ -1,0 +1,191 @@
+//! Validation of the quantitative assumptions behind the fault model
+//! (§III-E) — the statistical contract between the paper's numbers and the
+//! simulation (experiment E10 reports the same checks as data).
+
+use decos::faults::{FaultEnvironment, FaultKind, FaultSpec, FruRef};
+use decos::prelude::*;
+use decos::reliability::{BathtubModel, FitRate, PERMANENT_HW_FIT, TRANSIENT_HW_FIT};
+use decos::sim::SeedSource;
+
+/// Runs an injection-only campaign and returns the activation log.
+fn activation_log(
+    faults: Vec<FaultSpec>,
+    accel: f64,
+    rounds: u64,
+    seed: u64,
+) -> (decos::faults::ActivationLog, f64) {
+    let spec = fig10::reference_spec();
+    let mut env = FaultEnvironment::for_cluster(faults, &spec, accel, SeedSource::new(seed));
+    let mut sim = ClusterSim::new(spec, seed).unwrap();
+    for _ in 0..rounds * 4 {
+        sim.step_slot(&mut env);
+    }
+    let hours = sim.now().as_hours_f64();
+    (env.log().clone(), hours)
+}
+
+#[test]
+fn paper_rate_anchors() {
+    // §III-E: 100 FIT ≈ 1000 years, 100 000 FIT ≈ 1 year.
+    assert!(PERMANENT_HW_FIT.mttf_years() > 1_000.0);
+    assert!((TRANSIENT_HW_FIT.mttf_years() - 1.14).abs() < 0.02);
+    // Their ratio is 1000:1 — the asymmetry the wearout indicator rests on.
+    assert!((TRANSIENT_HW_FIT.0 / PERMANENT_HW_FIT.0 - 1_000.0).abs() < 1e-9);
+}
+
+#[test]
+fn episodic_rate_matches_configuration() {
+    // The Bernoulli-per-slot discretization must reproduce the configured
+    // Poisson rate: expected episodes = rate · accel · T.
+    let rate = 2_000.0; // per hour
+    let accel = 10.0;
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::ConnectorIntermittent { rate_per_hour: rate, duration_ms: 2.0 },
+        target: FruRef::Component(NodeId(2)),
+        onset: SimTime::ZERO,
+    }];
+    let (log, hours) = activation_log(faults, accel, 30_000, 3);
+    let expected = rate * accel * hours;
+    let got = log.windows.len() as f64;
+    let sigma = expected.sqrt();
+    assert!(
+        (got - expected).abs() < 5.0 * sigma + 2.0,
+        "episodes {got} vs expected {expected} (±{sigma:.1})"
+    );
+}
+
+#[test]
+fn transient_durations_are_tens_of_milliseconds() {
+    // §III-E: transient hardware failures last on the order of tens of ms
+    // (e.g. < 50 ms steering-outage bound [34]).
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::PcbCrack { base_rate_per_hour: 50_000.0, growth_per_hour: 0.0, outage_ms: 30.0 },
+        target: FruRef::Component(NodeId(1)),
+        onset: SimTime::ZERO,
+    }];
+    let (log, _) = activation_log(faults, 1.0, 20_000, 4);
+    assert!(log.windows.len() > 20);
+    let mean_ms = log
+        .windows
+        .iter()
+        .map(|w| w.until.saturating_since(w.from).as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / log.windows.len() as f64;
+    assert!((10.0..60.0).contains(&mean_ms), "mean outage {mean_ms} ms");
+}
+
+#[test]
+fn emi_bursts_match_iso7637_duration() {
+    // §III-E / ISO 7637: EMI burst duration on the order of 10 ms.
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::EmiBurst {
+            rate_per_hour: 50_000.0,
+            duration_ms: 10.0,
+            center: Position { x: 0.2, y: 0.1 },
+            radius_m: 1.0,
+        },
+        target: FruRef::Component(NodeId(0)),
+        onset: SimTime::ZERO,
+    }];
+    let (log, _) = activation_log(faults, 1.0, 20_000, 5);
+    assert!(log.windows.len() > 20);
+    let mean_ms = log
+        .windows
+        .iter()
+        .map(|w| w.until.saturating_since(w.from).as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / log.windows.len() as f64;
+    assert!((5.0..20.0).contains(&mean_ms), "mean burst {mean_ms} ms");
+}
+
+#[test]
+fn transients_longer_than_a_slot_are_detected() {
+    // §III-E: "transient failures longer than the length of a slot of the
+    // TDMA round can be detected by other FRUs". Every episode lasting at
+    // least one slot must coincide with at least one error observation.
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::PowerSupplyMarginal { rate_per_hour: 2_000.0, outage_ms: 20.0 },
+        target: FruRef::Component(NodeId(1)),
+        onset: SimTime::ZERO,
+    }];
+    let spec = fig10::reference_spec();
+    let mut env = FaultEnvironment::for_cluster(faults, &spec, 10.0, SeedSource::new(6));
+    let mut sim = ClusterSim::new(spec, 6).unwrap();
+    let mut error_times: Vec<SimTime> = Vec::new();
+    for _ in 0..20_000 * 4 {
+        let rec = sim.step_slot(&mut env);
+        if rec.owner == NodeId(1) && rec.observations.iter().any(|o| o.is_error()) {
+            error_times.push(rec.start);
+        }
+    }
+    let slot = SimDuration::from_millis(1);
+    let round = SimDuration::from_millis(4);
+    let mut long_episodes = 0u64;
+    let mut detected = 0u64;
+    for w in &env.log().windows {
+        if w.until.saturating_since(w.from) >= round + slot {
+            long_episodes += 1;
+            // Detection within the episode window plus one round of slack.
+            if error_times.iter().any(|&t| t + round >= w.from && t <= w.until + round) {
+                detected += 1;
+            }
+        }
+    }
+    assert!(long_episodes > 10, "need long episodes to judge ({long_episodes})");
+    let ratio = detected as f64 / long_episodes as f64;
+    assert!(ratio > 0.95, "detection ratio {ratio} ({detected}/{long_episodes})");
+}
+
+#[test]
+fn useful_life_field_rate_reproduced() {
+    // [16]: ~50 failures per 10⁶ ECUs per year during useful life.
+    use decos::reliability::fleet_failure_rates;
+    let model = BathtubModel::automotive_ecu();
+    let seeds = SeedSource::new(7);
+    let mut rng = seeds.stream("fleet", 0);
+    let n = 300_000;
+    let lifetimes: Vec<f64> = (0..n).map(|_| model.sample_failure_hours(&mut rng).hours).collect();
+    let rates = fleet_failure_rates(&lifetimes, 10);
+    // Years 3-8: past infant mortality, before wearout.
+    let plateau: f64 = rates.per_million_per_year[3..8].iter().sum::<f64>() / 5.0;
+    assert!(
+        (20.0..200.0).contains(&plateau),
+        "useful-life plateau {plateau} per 10⁶ per year (paper: ~50)"
+    );
+}
+
+#[test]
+fn software_failures_follow_the_20_80_rule() {
+    // [21]: 20 % of modules cause ~80 % of software failures. Sample
+    // per-module failure counts from a Pareto-like fault density and check
+    // the concentration statistic the paper quotes.
+    use decos::reliability::concentration;
+    use decos::sim::rng::SampleExt as _;
+    let seeds = SeedSource::new(8);
+    let mut rng = seeds.stream("modules", 0);
+    let modules = 100;
+    let counts: Vec<u64> = (0..modules)
+        .map(|i| {
+            // A small fraction of modules is fault-dense.
+            let lambda = if i < modules / 5 { 40.0 } else { 2.5 };
+            rng.poisson(lambda)
+        })
+        .collect();
+    let c = concentration(&counts);
+    assert!(
+        (0.7..0.9).contains(&c.top20_share),
+        "top-20% share {} should be ~0.8",
+        c.top20_share
+    );
+}
+
+#[test]
+fn permanent_rate_survival_matches_exponential() {
+    // A 100 FIT permanent process: P(failure within 15 years) ≈ 1.3 %.
+    let p = FitRate(100.0).failure_probability(SimDuration::from_hours(15 * 8766));
+    assert!((p - 0.0131).abs() < 0.002, "P(15y) = {p}");
+}

@@ -1,0 +1,129 @@
+//! Error-containment invariants of the integrated architecture.
+//!
+//! The DECOS architecture promises that integration does not sacrifice the
+//! containment of federated systems (§II): a job fault stays inside its
+//! DAS, virtual networks cannot interfere, and the diagnostic subsystem
+//! never implicates unrelated FRUs.
+
+use decos::diagnosis::{SymptomDetectors, Subject};
+use decos::faults::{campaign, FaultEnvironment};
+use decos::prelude::*;
+use decos::sim::SeedSource;
+
+/// Runs a campaign collecting every symptom (pre-dissemination).
+fn collect_symptoms(
+    spec: ClusterSpec,
+    faults: Vec<FaultSpec>,
+    accel: f64,
+    rounds: u64,
+) -> Vec<decos::diagnosis::Symptom> {
+    let mut env = FaultEnvironment::for_cluster(faults, &spec, accel, SeedSource::new(31));
+    let mut sim = ClusterSim::new(spec, 13).unwrap();
+    let mut det = SymptomDetectors::new(&sim);
+    let mut out = Vec::new();
+    for _ in 0..rounds * 4 {
+        let rec = sim.step_slot(&mut env);
+        det.detect(&sim, &rec, &mut out);
+    }
+    out
+}
+
+#[test]
+fn job_fault_confined_to_its_das() {
+    // A stuck sensor in DAS A: no job of DAS S or DAS C may show symptoms.
+    let faults = campaign::sensor_campaign(fig10::jobs::A1, FaultKind::SensorStuck { value: 99.0 });
+    let symptoms = collect_symptoms(fig10::reference_spec(), faults, 1.0, 2_000);
+    let das_a = [fig10::jobs::A1, fig10::jobs::A2, fig10::jobs::A3];
+    for s in &symptoms {
+        if let Subject::Job(j) = s.subject {
+            assert!(das_a.contains(&j), "symptom escaped DAS A: {s:?}");
+        } else {
+            panic!("a pure job fault must not cause component-level symptoms: {s:?}");
+        }
+    }
+}
+
+#[test]
+fn misconfigured_event_network_cannot_disturb_state_networks() {
+    // DAS C's event network is grossly under-dimensioned; DAS A and DAS S
+    // traffic (state networks) must be untouched: no symptom may name any
+    // of their jobs or any component.
+    let (spec, _) = campaign::misconfiguration_campaign(fig10::reference_spec(), 16);
+    let symptoms = collect_symptoms(spec, vec![], 1.0, 3_000);
+    assert!(!symptoms.is_empty(), "the misconfiguration must manifest");
+    for s in &symptoms {
+        match s.subject {
+            Subject::Job(j) => assert!(
+                [fig10::jobs::C1, fig10::jobs::C2, fig10::jobs::C3].contains(&j),
+                "symptom escaped DAS C: {s:?}"
+            ),
+            Subject::Component(_) => panic!("no component-level symptom expected: {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn guardian_contains_timing_failures() {
+    // A massive timing failure of one component becomes a clean omission
+    // for everyone else — it cannot corrupt the slots of other senders.
+    use decos::platform::{Environment, NodeId, TxDisturbance};
+    use decos::sim::SimTime;
+    struct BadTiming;
+    impl Environment for BadTiming {
+        fn tx_disturbance(&mut self, _now: SimTime, sender: NodeId) -> TxDisturbance {
+            if sender == NodeId(2) {
+                TxDisturbance { silence: false, extra_offset_ns: 500_000, corrupt_bits: 0 }
+            } else {
+                TxDisturbance::NONE
+            }
+        }
+    }
+    let mut sim = ClusterSim::new(fig10::reference_spec(), 1).unwrap();
+    let mut env = BadTiming;
+    let mut own_errors = 0u64;
+    let mut other_errors = 0u64;
+    sim.run_rounds(500, &mut env, &mut |_, rec| {
+        let errs = rec.observations.iter().filter(|o| o.is_error()).count() as u64;
+        if rec.owner == NodeId(2) {
+            own_errors += errs;
+        } else {
+            other_errors += errs;
+        }
+    });
+    assert!(own_errors > 0, "the mistimed sender must be cut by the guardian");
+    assert_eq!(other_errors, 0, "other senders' slots must stay clean");
+}
+
+#[test]
+fn diagnosis_never_actions_unrelated_frus() {
+    // Across several single-fault campaigns: any *actioned* FRU must be
+    // the faulty one (or its host / hosted-job counterpart).
+    for (i, faults) in [
+        campaign::connector_campaign(NodeId(2), 4_000.0),
+        campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0),
+        campaign::sensor_campaign(fig10::jobs::A1, FaultKind::SensorStuck { value: 99.0 }),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let truth = faults[0].target;
+        let accel = if i == 0 { 10.0 } else { 1.0 };
+        let rounds = if i == 1 { 15_000 } else { 5_000 };
+        let out = run_campaign(&Campaign::reference(faults, accel, rounds, 50 + i as u64)).unwrap();
+        for (fru, action) in out.report.actions() {
+            if action == MaintenanceAction::NoAction {
+                continue;
+            }
+            let related = match (truth, fru) {
+                (a, b) if a == b => true,
+                // A component fault may be reported via its hosted jobs'
+                // correlation — but then the *component* gets the action.
+                (FruRef::Job(j), FruRef::Component(host)) => {
+                    fig10::reference_spec().jobs.iter().any(|js| js.id == j && js.host == host)
+                }
+                _ => false,
+            };
+            assert!(related, "campaign {i}: unrelated FRU {fru} actioned with {action}");
+        }
+    }
+}

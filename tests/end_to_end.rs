@@ -1,0 +1,187 @@
+//! End-to-end classification: one campaign per fault class, asserting the
+//! diagnosis recovers the injected class and prescribes the Fig. 11 action.
+
+use decos::faults::campaign;
+use decos::prelude::*;
+
+fn assert_verdict(
+    outcome: &CampaignOutcome,
+    fru: FruRef,
+    class: FaultClass,
+    action: Option<MaintenanceAction>,
+) {
+    let v = outcome
+        .report
+        .verdict_of(fru)
+        .unwrap_or_else(|| panic!("{fru} must be assessed; report: {:?}", outcome.report.verdicts));
+    assert_eq!(v.class, Some(class), "verdict {v:?}");
+    assert_eq!(v.action, action, "verdict {v:?}");
+}
+
+#[test]
+fn component_external_emi_no_action() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::EmiBurst {
+            rate_per_hour: 4_000.0,
+            duration_ms: 10.0,
+            center: Position { x: 0.2, y: 0.1 },
+            radius_m: 1.0,
+        },
+        target: FruRef::Component(NodeId(0)),
+        onset: SimTime::ZERO,
+    }];
+    let out = run_campaign(&Campaign::reference(faults, 10.0, 6_000, 1)).unwrap();
+    // Every decided component verdict is external; nobody is replaced.
+    assert!(out
+        .report
+        .actions()
+        .iter()
+        .all(|(_, a)| *a == MaintenanceAction::NoAction));
+    assert!(out.report.verdicts.iter().any(|v| v.class == Some(FaultClass::ComponentExternal)));
+}
+
+#[test]
+fn component_borderline_connector() {
+    let faults = campaign::connector_campaign(NodeId(2), 4_000.0);
+    let out = run_campaign(&Campaign::reference(faults, 10.0, 6_000, 2)).unwrap();
+    assert_verdict(
+        &out,
+        FruRef::Component(NodeId(2)),
+        FaultClass::ComponentBorderline,
+        Some(MaintenanceAction::InspectConnector),
+    );
+}
+
+#[test]
+fn component_internal_recurring() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::IcTransient { rate_per_hour: 9_000.0, duration_ms: 4.0 },
+        target: FruRef::Component(NodeId(1)),
+        onset: SimTime::ZERO,
+    }];
+    let out = run_campaign(&Campaign::reference(faults, 10.0, 6_000, 3)).unwrap();
+    assert_verdict(
+        &out,
+        FruRef::Component(NodeId(1)),
+        FaultClass::ComponentInternal,
+        Some(MaintenanceAction::ReplaceComponent),
+    );
+}
+
+#[test]
+fn component_internal_wearout() {
+    let faults = campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0);
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 15_000, 4)).unwrap();
+    assert_verdict(
+        &out,
+        FruRef::Component(NodeId(1)),
+        FaultClass::ComponentInternal,
+        Some(MaintenanceAction::ReplaceComponent),
+    );
+    // The wearout pattern specifically contributed.
+    let v = out.report.verdict_of(FruRef::Component(NodeId(1))).unwrap();
+    assert!(
+        v.patterns.keys().any(|p| p == "wearout" || p == "recurring-internal"),
+        "patterns: {:?}",
+        v.patterns
+    );
+}
+
+#[test]
+fn component_internal_quartz() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::QuartzDegradation { drift_ppm_per_hour: 1e7 },
+        target: FruRef::Component(NodeId(2)),
+        onset: SimTime::ZERO,
+    }];
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 8_000, 5)).unwrap();
+    let v = out.report.verdict_of(FruRef::Component(NodeId(2))).expect("assessed");
+    assert_eq!(v.class, Some(FaultClass::ComponentInternal), "verdict {v:?}");
+    assert!(v.patterns.contains_key("oscillator"), "patterns: {:?}", v.patterns);
+}
+
+#[test]
+fn job_borderline_misconfiguration() {
+    let (spec, _) = campaign::misconfiguration_campaign(fig10::reference_spec(), 16);
+    let out = run_campaign(&Campaign { spec, faults: vec![], accel: 1.0, rounds: 4_000, seed: 6 })
+        .unwrap();
+    assert_verdict(
+        &out,
+        FruRef::Job(fig10::jobs::C3),
+        FaultClass::JobBorderline,
+        Some(MaintenanceAction::UpdateConfiguration),
+    );
+}
+
+#[test]
+fn job_inherent_software_bohrbug() {
+    let faults = campaign::software_campaign(fig10::jobs::A1, false);
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 5_000, 7)).unwrap();
+    assert_verdict(
+        &out,
+        FruRef::Job(fig10::jobs::A1),
+        FaultClass::JobInherentSoftware,
+        Some(MaintenanceAction::UpdateSoftware),
+    );
+}
+
+#[test]
+fn job_inherent_transducer_stuck() {
+    let faults = campaign::sensor_campaign(fig10::jobs::A1, FaultKind::SensorStuck { value: 99.0 });
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 4_000, 8)).unwrap();
+    assert_verdict(
+        &out,
+        FruRef::Job(fig10::jobs::A1),
+        FaultClass::JobInherentTransducer,
+        Some(MaintenanceAction::InspectTransducer),
+    );
+}
+
+#[test]
+fn job_inherent_transducer_drift() {
+    let faults =
+        campaign::sensor_campaign(fig10::jobs::A1, FaultKind::SensorDrift { per_hour: 2_000.0 });
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 12_000, 9)).unwrap();
+    let v = out.report.verdict_of(FruRef::Job(fig10::jobs::A1)).expect("assessed");
+    assert_eq!(v.class, Some(FaultClass::JobInherentTransducer), "verdict {v:?}");
+}
+
+#[test]
+fn job_external_maps_to_component_internal() {
+    // Capacitor aging on component 0 biases both hosted jobs (S1 of DAS S,
+    // A1 of DAS A): the co-host correlation maps the job-external fault
+    // onto the shared hardware (§IV-B.3).
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::CapacitorAging { bias_per_hour: 40_000.0 },
+        target: FruRef::Component(NodeId(0)),
+        onset: SimTime::ZERO,
+    }];
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 15_000, 10)).unwrap();
+    let v = out.report.verdict_of(FruRef::Component(NodeId(0))).expect("host assessed");
+    assert_eq!(v.class, Some(FaultClass::ComponentInternal), "verdict {v:?}");
+    assert!(v.patterns.contains_key("cohost-correlation"), "patterns {:?}", v.patterns);
+    // The individual jobs must NOT be blamed.
+    for j in [fig10::jobs::S1, fig10::jobs::A1] {
+        if let Some(jv) = out.report.verdict_of(FruRef::Job(j)) {
+            assert_eq!(jv.action, None, "job {j} wrongly actioned: {jv:?}");
+        }
+    }
+}
+
+#[test]
+fn permanent_death_is_detected_by_both() {
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::IcPermanent { after_hours: 0.001 },
+        target: FruRef::Component(NodeId(3)),
+        onset: SimTime::ZERO,
+    }];
+    let out = run_campaign(&Campaign::reference(faults, 1.0, 3_000, 11)).unwrap();
+    let v = out.report.verdict_of(FruRef::Component(NodeId(3))).expect("assessed");
+    assert_eq!(v.action, Some(MaintenanceAction::ReplaceComponent), "verdict {v:?}");
+    assert!(out.obd.replacements.contains(&NodeId(3)), "even OBD finds a dead ECU");
+}

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use decos::diagnosis::{
-    DistributedState, FruAssessor, OnaBank, OnaParams, PatternMatch, Subject, Symptom,
-    SymptomKind, TrustParams,
+    DistributedState, FruAssessor, OnaBank, OnaParams, PatternMatch, Subject, Symptom, SymptomKind,
+    TrustParams,
 };
 use decos::faults::{FaultClass, FruRef};
 use decos::prelude::*;
@@ -26,18 +26,14 @@ fn bench_state(c: &mut Criterion) {
     let mut g = c.benchmark_group("distributed_state");
     for &per_round in &[0usize, 4, 32] {
         g.throughput(Throughput::Elements(per_round.max(1) as u64));
-        g.bench_with_input(
-            BenchmarkId::new("ingest_round", per_round),
-            &per_round,
-            |b, &n| {
-                let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
-                let mut round = 0u64;
-                b.iter(|| {
-                    round += 1;
-                    ds.ingest_round(SimTime::from_millis(round * 4), mk_symptoms(n, round));
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("ingest_round", per_round), &per_round, |b, &n| {
+            let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                ds.ingest_round(SimTime::from_millis(round * 4), mk_symptoms(n, round));
+            });
+        });
     }
     g.bench_function("pair_matrix_window3", |b| {
         let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
@@ -53,22 +49,16 @@ fn bench_ona(c: &mut Criterion) {
     let mut g = c.benchmark_group("ona_bank");
     let sim = ClusterSim::new(fig10::reference_spec(), 1).unwrap();
     for &per_round in &[0usize, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("evaluate_round", per_round),
-            &per_round,
-            |b, &n| {
-                let mut bank = OnaBank::new(&sim, OnaParams::default());
-                let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
-                let mut round = 0u64;
-                b.iter(|| {
-                    round += 1;
-                    ds.ingest_round(SimTime::from_millis(round * 4), mk_symptoms(n, round));
-                    std::hint::black_box(
-                        bank.evaluate_round(SimTime::from_millis(round * 4), &ds),
-                    )
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("evaluate_round", per_round), &per_round, |b, &n| {
+            let mut bank = OnaBank::new(&sim, OnaParams::default());
+            let mut ds = DistributedState::new(512, SimDuration::from_millis(400));
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                ds.ingest_round(SimTime::from_millis(round * 4), mk_symptoms(n, round));
+                std::hint::black_box(bank.evaluate_round(SimTime::from_millis(round * 4), &ds))
+            });
+        });
     }
     g.finish();
 }

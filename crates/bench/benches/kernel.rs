@@ -28,10 +28,8 @@ fn bench_kernel(c: &mut Criterion) {
         g.throughput(Throughput::Elements(events));
         g.bench_with_input(BenchmarkId::new("self_scheduling_chain", events), &events, |b, &n| {
             b.iter(|| {
-                let mut eng = Engine::new(Ticker {
-                    remaining: n,
-                    period: SimDuration::from_micros(10),
-                });
+                let mut eng =
+                    Engine::new(Ticker { remaining: n, period: SimDuration::from_micros(10) });
                 eng.schedule_at(SimTime::ZERO, Ev::Tick);
                 eng.run_until(SimTime::MAX);
                 assert_eq!(eng.processed(), n + 1);

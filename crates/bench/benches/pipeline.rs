@@ -28,11 +28,35 @@ fn bench_cluster(c: &mut Criterion) {
     // Scaling: the 8-LRM avionics cluster (2× components, 14 jobs).
     g.bench_function("fault_free_slots_avionics", |b| {
         b.iter(|| {
-            let mut sim =
-                ClusterSim::new(decos::platform::avionics::avionics_spec(), 1).unwrap();
+            let mut sim = ClusterSim::new(decos::platform::avionics::avionics_spec(), 1).unwrap();
             let mut env = NullEnvironment;
             for _ in 0..SLOTS {
                 std::hint::black_box(sim.step_slot(&mut env));
+            }
+        });
+    });
+
+    // Steady-state comparison: the allocating wrapper vs. the
+    // buffer-reusing pipeline. Construction happens outside the timed
+    // closure so the numbers isolate the per-slot cost.
+    g.bench_function("steady_state_step_slot", |b| {
+        let mut sim = ClusterSim::new(fig10::reference_spec(), 1).unwrap();
+        let mut env = NullEnvironment;
+        b.iter(|| {
+            for _ in 0..SLOTS {
+                std::hint::black_box(sim.step_slot(&mut env));
+            }
+        });
+    });
+
+    g.bench_function("steady_state_step_slot_into", |b| {
+        let mut sim = ClusterSim::new(fig10::reference_spec(), 1).unwrap();
+        let mut env = NullEnvironment;
+        let mut rec = decos::platform::SlotRecord::empty();
+        b.iter(|| {
+            for _ in 0..SLOTS {
+                sim.step_slot_into(&mut env, &mut rec);
+                std::hint::black_box(&rec);
             }
         });
     });

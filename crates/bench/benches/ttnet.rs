@@ -4,8 +4,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use decos::sim::SeedSource;
 use decos::ttnet::crc::crc32;
 use decos::ttnet::{
-    BroadcastBus, ChannelParams, Frame, MembershipParams, MembershipService, NodeId,
-    RxDisturbance, SlotIndex, TxAttempt,
+    BroadcastBus, ChannelParams, Frame, MembershipParams, MembershipService, NodeId, RxDisturbance,
+    SlotIndex, TxAttempt,
 };
 
 fn bench_crc(c: &mut Criterion) {

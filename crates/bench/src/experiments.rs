@@ -298,7 +298,12 @@ pub fn e4_job(effort: Effort) -> EClassQuality {
         let (mspec, truth) = campaign::misconfiguration_campaign(spec.clone(), 16);
         cases.push((mspec, truth, 1.0, 4_000));
         // job inherent software: Bohrbug or Heisenbug
-        cases.push((spec.clone(), campaign::software_campaign(fig10::jobs::A1, i % 2 == 0), 1.0, 6_000));
+        cases.push((
+            spec.clone(),
+            campaign::software_campaign(fig10::jobs::A1, i % 2 == 0),
+            1.0,
+            6_000,
+        ));
         // job inherent transducer: stuck or drift
         let kind = if i % 2 == 0 {
             FaultKind::SensorStuck { value: 99.0 }
@@ -376,7 +381,11 @@ impl E5Bathtub {
         for &(y, h) in &self.hazard_per_year {
             let per_million = h * 1e6;
             let bar = ((per_million.max(1.0)).log10() * 8.0) as usize;
-            let _ = writeln!(s, "  {y:>5.1} y  {per_million:>12.1} /10⁶/y  {}", "#".repeat(bar.min(70)));
+            let _ = writeln!(
+                s,
+                "  {y:>5.1} y  {per_million:>12.1} /10⁶/y  {}",
+                "#".repeat(bar.min(70))
+            );
         }
         let _ = writeln!(
             s,
@@ -507,11 +516,8 @@ fn pattern_signature(
     // by the mean rate (dimensionless growth per window).
     let rates = freq.rates_per_hour();
     let mean_rate = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
-    let rel_trend = if mean_rate > 0.0 {
-        freq.trend_slope().unwrap_or(0.0) / mean_rate
-    } else {
-        0.0
-    };
+    let rel_trend =
+        if mean_rate > 0.0 { freq.trend_slope().unwrap_or(0.0) / mean_rate } else { 0.0 };
     PatternSignature {
         label: label.into(),
         frequency_trend: rel_trend,
@@ -632,12 +638,9 @@ pub fn e7_trust(effort: Effort) -> E7Trust {
         onset: SimTime::ZERO,
     });
     let c = Campaign::reference(faults, 1.0, effort.scale(20_000), 11);
-    let series = trust_trajectories(
-        &c,
-        &[FruRef::Component(NodeId(1)), FruRef::Component(NodeId(0))],
-        250,
-    )
-    .expect("valid spec");
+    let series =
+        trust_trajectories(&c, &[FruRef::Component(NodeId(1)), FruRef::Component(NodeId(0))], 250)
+            .expect("valid spec");
     E7Trust { trajectory_a: series[0].1.clone(), trajectory_b: series[1].1.clone() }
 }
 
@@ -819,16 +822,24 @@ pub fn e9_actions(effort: Effort) -> E9Actions {
         e.0 += 1;
         e.1 += v.decos.correct_actions;
     }
-    E9Actions { vehicles: cfg.vehicles, decos: out.decos, obd: out.obd, per_class_correct: per_class }
+    E9Actions {
+        vehicles: cfg.vehicles,
+        decos: out.decos,
+        obd: out.obd,
+        per_class_correct: per_class,
+    }
 }
 
 impl E9Actions {
     /// Text rendering.
     pub fn render(&self) -> String {
-        let mut s =
-            format!("E9 — maintenance actions & NFF economics over {} vehicles (Fig. 11)\n\n", self.vehicles);
+        let mut s = format!(
+            "E9 — maintenance actions & NFF economics over {} vehicles (Fig. 11)\n\n",
+            self.vehicles
+        );
         let _ = writeln!(s, "  {:<28}{:>12}{:>12}", "", "integrated", "OBD");
-        let _ = writeln!(s, "  {:<28}{:>12}{:>12}", "removals", self.decos.removals, self.obd.removals);
+        let _ =
+            writeln!(s, "  {:<28}{:>12}{:>12}", "removals", self.decos.removals, self.obd.removals);
         let _ = writeln!(
             s,
             "  {:<28}{:>12}{:>12}",
@@ -896,7 +907,11 @@ pub fn e10_assumptions(effort: Effort) -> E10Assumptions {
     let spec = fig10::reference_spec();
     let faults = vec![FaultSpec {
         id: 1,
-        kind: FaultKind::PcbCrack { base_rate_per_hour: 50_000.0, growth_per_hour: 0.0, outage_ms: 30.0 },
+        kind: FaultKind::PcbCrack {
+            base_rate_per_hour: 50_000.0,
+            growth_per_hour: 0.0,
+            outage_ms: 30.0,
+        },
         target: FruRef::Component(NodeId(1)),
         onset: SimTime::ZERO,
     }];
@@ -938,7 +953,11 @@ pub fn e10_assumptions(effort: Effort) -> E10Assumptions {
         ws.iter().map(|w| w.until.saturating_since(w.from).as_secs_f64() * 1e3).sum::<f64>()
             / ws.len().max(1) as f64
     };
-    rows.push(("EMI burst duration".into(), "~10 ms (ISO 7637)".into(), format!("{emi_ms:.1} ms mean")));
+    rows.push((
+        "EMI burst duration".into(),
+        "~10 ms (ISO 7637)".into(),
+        format!("{emi_ms:.1} ms mean"),
+    ));
 
     // Detection of slot-length transients: reuse the assumptions test logic.
     rows.push((
@@ -975,9 +994,7 @@ pub fn e10_assumptions(effort: Effort) -> E10Assumptions {
 
     // 20-80 rule.
     let mut rng = SeedSource::new(8).stream("modules", 0);
-    let counts: Vec<u64> = (0..100)
-        .map(|i| rng.poisson(if i < 20 { 40.0 } else { 2.5 }))
-        .collect();
+    let counts: Vec<u64> = (0..100).map(|i| rng.poisson(if i < 20 { 40.0 } else { 2.5 })).collect();
     let conc = decos::reliability::concentration(&counts);
     rows.push((
         "software fault distribution".into(),
@@ -992,7 +1009,7 @@ impl E10Assumptions {
     /// Text rendering.
     pub fn render(&self) -> String {
         let mut s = String::from("E10 — assumptions behind the fault model (§III-E), measured\n\n");
-        let _ = writeln!(s, "  {:<28}{:<40}{}", "assumption", "paper", "measured");
+        let _ = writeln!(s, "  {:<28}{:<40}measured", "assumption", "paper");
         for (a, p, m) in &self.rows {
             let _ = writeln!(s, "  {a:<28}{p:<40}{m}");
         }
@@ -1150,11 +1167,8 @@ pub fn e13_service_loop(effort: Effort) -> E13ServiceLoop {
         let resolved: Vec<&decos::workshop::ServiceHistory> =
             histories.iter().filter(|h| h.resolved).collect();
         // Mean visits among vehicles that actually needed the workshop.
-        let serviced: Vec<usize> = resolved
-            .iter()
-            .filter(|h| !h.visits.is_empty())
-            .map(|h| h.visits.len())
-            .collect();
+        let serviced: Vec<usize> =
+            resolved.iter().filter(|h| !h.visits.is_empty()).map(|h| h.visits.len()).collect();
         let mean_visits = if serviced.is_empty() {
             f64::NAN
         } else {
@@ -1195,7 +1209,12 @@ impl E13ServiceLoop {
             let _ = writeln!(
                 s,
                 "  {:<14}{:>7}/{:<3}{:>13.2}{:>14.0}{:>14}",
-                r.strategy, r.resolved, self.vehicles, r.mean_visits, r.mean_cost_usd, r.nff_removals
+                r.strategy,
+                r.resolved,
+                self.vehicles,
+                r.mean_visits,
+                r.mean_cost_usd,
+                r.nff_removals
             );
         }
         s.push_str(
@@ -1261,10 +1280,8 @@ pub fn e11_alpha(effort: Effort) -> E11Alpha {
     };
 
     let roc = |decay: f64| -> Vec<RocPoint> {
-        let ext: Vec<f64> =
-            (0..samples).map(|i| run_max_alpha(decay, p_ext, 1_000 + i)).collect();
-        let int: Vec<f64> =
-            (0..samples).map(|i| run_max_alpha(decay, p_int, 2_000 + i)).collect();
+        let ext: Vec<f64> = (0..samples).map(|i| run_max_alpha(decay, p_ext, 1_000 + i)).collect();
+        let int: Vec<f64> = (0..samples).map(|i| run_max_alpha(decay, p_int, 2_000 + i)).collect();
         (0..40)
             .map(|k| {
                 let threshold = k as f64 * 0.5;
@@ -1298,7 +1315,11 @@ impl E11Alpha {
             "E11 — α-count internal/external discrimination ({} samples/class)\n\n",
             self.samples
         );
-        let _ = writeln!(s, "  {:<12}{:>8}{:>8}    {:<12}{:>8}{:>8}", "α-count", "tpr", "fpr", "naive", "tpr", "fpr");
+        let _ = writeln!(
+            s,
+            "  {:<12}{:>8}{:>8}    {:<12}{:>8}{:>8}",
+            "α-count", "tpr", "fpr", "naive", "tpr", "fpr"
+        );
         for (a, n) in self.alpha_roc.iter().zip(&self.naive_roc).step_by(4) {
             let _ = writeln!(
                 s,
@@ -1306,7 +1327,8 @@ impl E11Alpha {
                 a.threshold, a.tpr, a.fpr, n.threshold, n.tpr, n.fpr
             );
         }
-        let _ = writeln!(s, "\n  AUC: α-count = {:.3}, naive = {:.3}", self.alpha_auc, self.naive_auc);
+        let _ =
+            writeln!(s, "\n  AUC: α-count = {:.3}, naive = {:.3}", self.alpha_auc, self.naive_auc);
         s
     }
 }

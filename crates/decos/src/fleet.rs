@@ -116,7 +116,8 @@ fn run_vehicle(
         rounds: cfg.rounds,
         seed: seeds.child(index).master(),
     };
-    let out = run_campaign_with_params(&campaign, params, |_, _, _| {}).expect("sampled spec is valid");
+    let out =
+        run_campaign_with_params(&campaign, params, |_, _, _| {}).expect("sampled spec is valid");
 
     let decos_actions = out.report.actions();
     let decos_class = out.report.verdict_of(truth_fru).and_then(|v| v.class);

@@ -6,9 +6,12 @@
 //! observing the same slot records, so every experiment compares like for
 //! like.
 
-use decos_diagnosis::{DiagnosticEngine, DiagnosticReport, DisseminationStats, EngineParams, ObdDiagnosis, ObdParams, ObdReport};
+use decos_diagnosis::{
+    DiagnosticEngine, DiagnosticReport, DisseminationStats, EngineParams, ObdDiagnosis, ObdParams,
+    ObdReport,
+};
 use decos_faults::{FaultEnvironment, FaultSpec, FruRef};
-use decos_platform::{ClusterSim, ClusterSpec, SlotRecord, SpecError};
+use decos_platform::{ClusterSim, ClusterSpec, SlotObserver, SlotRecord, SpecError};
 use decos_sim::rng::SeedSource;
 use serde::{Deserialize, Serialize};
 
@@ -31,13 +34,7 @@ pub struct Campaign {
 impl Campaign {
     /// A campaign over the Fig. 10 reference cluster.
     pub fn reference(faults: Vec<FaultSpec>, accel: f64, rounds: u64, seed: u64) -> Self {
-        Campaign {
-            spec: decos_platform::fig10::reference_spec(),
-            faults,
-            accel,
-            rounds,
-            seed,
-        }
+        Campaign { spec: decos_platform::fig10::reference_spec(), faults, accel, rounds, seed }
     }
 }
 
@@ -77,6 +74,21 @@ pub fn run_campaign_with(
 pub fn run_campaign_with_params(
     c: &Campaign,
     params: EngineParams,
+    observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
+) -> Result<CampaignOutcome, SpecError> {
+    run_campaign_observed(c, params, &mut [], observe)
+}
+
+/// Runs a campaign with additional [`SlotObserver`]s riding along.
+///
+/// The integrated engine and the OBD baseline are always present (they
+/// produce the [`CampaignOutcome`]); `extras` — metrics recorders, probes,
+/// custom accumulators — see every record right after them, in order.
+/// Records are a *reused buffer*: observers must copy anything they keep.
+pub fn run_campaign_observed(
+    c: &Campaign,
+    params: EngineParams,
+    extras: &mut [&mut dyn SlotObserver],
     mut observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
 ) -> Result<CampaignOutcome, SpecError> {
     let mut sim = ClusterSim::new(c.spec.clone(), c.seed)?;
@@ -89,11 +101,23 @@ pub fn run_campaign_with_params(
     let mut engine = DiagnosticEngine::new(&sim, params);
     let mut obd = ObdDiagnosis::new(&sim, ObdParams::default());
 
-    let slots = c.rounds * sim.schedule().slots_per_round() as u64;
+    let spr = sim.schedule().slots_per_round();
+    let slots = c.rounds * spr as u64;
+    let mut rec = SlotRecord::empty();
     for _ in 0..slots {
-        let rec = sim.step_slot(&mut env);
-        engine.observe_slot(&sim, &rec);
-        obd.ingest(&sim, &rec);
+        sim.step_slot_into(&mut env, &mut rec);
+        engine.on_slot(&sim, &rec);
+        obd.on_slot(&sim, &rec);
+        for ex in extras.iter_mut() {
+            ex.on_slot(&sim, &rec);
+        }
+        if rec.addr.slot.0 == spr - 1 {
+            engine.on_round_end(&sim, &rec);
+            obd.on_round_end(&sim, &rec);
+            for ex in extras.iter_mut() {
+                ex.on_round_end(&sim, &rec);
+            }
+        }
         observe(&sim, &engine, &rec);
     }
     let end = sim.now();
@@ -107,20 +131,23 @@ pub fn run_campaign_with_params(
     })
 }
 
+/// Per-FRU trust trajectory: `(seconds, trust)` samples per sampled FRU.
+pub type TrustSeries = Vec<(FruRef, Vec<(f64, f64)>)>;
+
 /// Samples the trust trajectory of selected FRUs every `every_rounds`
 /// rounds. Returns, per FRU, the series of (seconds, trust).
 pub fn trust_trajectories(
     c: &Campaign,
     frus: &[FruRef],
     every_rounds: u64,
-) -> Result<Vec<(FruRef, Vec<(f64, f64)>)>, SpecError> {
-    let mut series: Vec<(FruRef, Vec<(f64, f64)>)> =
-        frus.iter().map(|f| (*f, Vec::new())).collect();
-    let slots_per_round = c.spec.components.len() as u64;
-    let mut slot_no = 0u64;
-    run_campaign_with(c, |_, engine, rec| {
-        slot_no += 1;
-        if slot_no % (every_rounds * slots_per_round) == 0 {
+) -> Result<TrustSeries, SpecError> {
+    let mut series: TrustSeries = frus.iter().map(|f| (*f, Vec::new())).collect();
+    run_campaign_with(c, |sim, engine, rec| {
+        // Sample on the last slot of every `every_rounds`-th round. The
+        // cadence must come from the schedule, not the component count —
+        // the two only coincide on clusters with one slot per component.
+        let spr = sim.schedule().slots_per_round();
+        if rec.addr.slot.0 == spr - 1 && (rec.addr.round + 1) % every_rounds == 0 {
             for (fru, s) in series.iter_mut() {
                 s.push((rec.start.as_secs_f64(), engine.trust_of(*fru)));
             }

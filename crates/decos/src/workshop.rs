@@ -114,10 +114,7 @@ fn action_fixes(action: MaintenanceAction, fru: FruRef, fault: &FaultSpec) -> bo
             // optimistic case where re-plugging during the swap also cures
             // an intermittent contact.
             fault.target == fru
-                && matches!(
-                    class,
-                    FaultClass::ComponentInternal | FaultClass::ComponentBorderline
-                )
+                && matches!(class, FaultClass::ComponentInternal | FaultClass::ComponentBorderline)
         }
         MaintenanceAction::InspectConnector => {
             fault.target == fru && class == FaultClass::ComponentBorderline
@@ -311,17 +308,9 @@ mod tests {
     #[test]
     fn misconfiguration_fixed_by_config_update() {
         let (spec, truth) = campaign::misconfiguration_campaign(fig10::reference_spec(), 16);
-        let h = service_loop(
-            spec,
-            truth,
-            Strategy::Integrated,
-            CostModel::default(),
-            1.0,
-            4_000,
-            7,
-            5,
-        )
-        .unwrap();
+        let h =
+            service_loop(spec, truth, Strategy::Integrated, CostModel::default(), 1.0, 4_000, 7, 5)
+                .unwrap();
         assert!(h.resolved, "history: {h:?}");
         assert_eq!(h.nff_removals, 0);
     }

@@ -1,0 +1,94 @@
+//! Regression: the steady-state slot pipeline performs no heap allocation.
+//!
+//! This binary installs a counting `#[global_allocator]` and holds exactly
+//! one test, so no concurrent harness thread can pollute the counter. A
+//! fault-free campaign over the Fig. 10 cluster is warmed up past every
+//! lazily-grown structure (scratch buffers, symptom-history horizon,
+//! judgement-window maps), then a measured stretch of rounds must leave the
+//! allocation counter untouched — the full pipeline (simulation step,
+//! integrated diagnostic engine, OBD baseline, metrics recorder) runs on
+//! reused buffers alone.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn fault_free_steady_state_allocates_nothing() {
+    use decos::prelude::*;
+    use decos_platform::{NullEnvironment, SlotRecord};
+
+    let mut sim = ClusterSim::new(fig10::reference_spec(), 42).unwrap();
+    let mut env = NullEnvironment;
+    let mut engine = DiagnosticEngine::new(&sim, EngineParams::default());
+    let mut obd = ObdDiagnosis::new(&sim, ObdParams::default());
+    let mut metrics = SlotMetrics::new();
+    let spr = sim.schedule().slots_per_round();
+    let mut rec = SlotRecord::empty();
+
+    let mut run_rounds = |rounds: u64,
+                          sim: &mut ClusterSim,
+                          engine: &mut DiagnosticEngine,
+                          obd: &mut ObdDiagnosis,
+                          metrics: &mut SlotMetrics,
+                          rec: &mut SlotRecord| {
+        for _ in 0..rounds {
+            for s in 0..spr {
+                sim.step_slot_into(&mut env, rec);
+                engine.on_slot(sim, rec);
+                obd.on_slot(sim, rec);
+                metrics.on_slot(sim, rec);
+                if s == spr - 1 {
+                    engine.on_round_end(sim, rec);
+                    obd.on_round_end(sim, rec);
+                    metrics.on_round_end(sim, rec);
+                }
+            }
+        }
+    };
+
+    // Warm-up: past the 512-round symptom-history horizon (so eviction and
+    // buffer recycling are active) and through several 50-round judgement
+    // windows (so the α-count maps are fully populated).
+    run_rounds(600, &mut sim, &mut engine, &mut obd, &mut metrics, &mut rec);
+
+    let before = ALLOCATIONS.load(Relaxed);
+    run_rounds(256, &mut sim, &mut engine, &mut obd, &mut metrics, &mut rec);
+    let after = ALLOCATIONS.load(Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fault-free pipeline must not allocate (got {} allocations over 256 rounds)",
+        after - before
+    );
+    assert_eq!(metrics.rounds, 856);
+    assert!(metrics.messages_sent > 0, "the cluster must actually be carrying traffic");
+}

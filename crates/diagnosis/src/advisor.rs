@@ -102,8 +102,7 @@ impl MaintenanceAdvisor {
     pub fn ingest(&mut self, matches: &[PatternMatch]) {
         for m in matches {
             self.total += 1;
-            *self.evidence.entry(m.fru).or_default().entry(m.class).or_insert(0.0) +=
-                m.confidence;
+            *self.evidence.entry(m.fru).or_default().entry(m.class).or_insert(0.0) += m.confidence;
             *self.patterns.entry(m.fru).or_default().entry(m.pattern.to_string()).or_insert(0) += 1;
         }
     }

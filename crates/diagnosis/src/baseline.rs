@@ -229,6 +229,12 @@ impl ObdDiagnosis {
     }
 }
 
+impl decos_platform::SlotObserver for ObdDiagnosis {
+    fn on_slot(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
+        self.ingest(sim, rec);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,10 +167,8 @@ impl SymptomDetectors {
             //    expected state port is absent from the frame.
             if let Some(expected) = self.periodic_ports.get(&owner) {
                 for (port, job) in expected {
-                    let present = rec
-                        .sent
-                        .iter()
-                        .any(|(_, msgs)| msgs.iter().any(|m| m.src == *port));
+                    let present =
+                        rec.sent.iter().any(|(_, msgs)| msgs.iter().any(|m| m.src == *port));
                     if !present {
                         out.push(Symptom {
                             at: rec.start,
@@ -197,7 +195,11 @@ impl SymptomDetectors {
                     point,
                     observer: d.node,
                     subject,
-                    kind: SymptomKind::QueueOverflow { vnet: d.vnet, side: QueueSide::Tx, lost: d.tx },
+                    kind: SymptomKind::QueueOverflow {
+                        vnet: d.vnet,
+                        side: QueueSide::Tx,
+                        lost: d.tx,
+                    },
                 });
             }
             if d.rx > 0 {
@@ -211,7 +213,11 @@ impl SymptomDetectors {
                     point,
                     observer: d.node,
                     subject,
-                    kind: SymptomKind::QueueOverflow { vnet: d.vnet, side: QueueSide::Rx, lost: d.rx },
+                    kind: SymptomKind::QueueOverflow {
+                        vnet: d.vnet,
+                        side: QueueSide::Rx,
+                        lost: d.rx,
+                    },
                 });
             }
         }
@@ -312,7 +318,12 @@ mod tests {
             let rec = sim.step_slot(&mut env);
             det.detect(&sim, &rec, &mut symptoms);
         }
-        assert!(symptoms.is_empty(), "got {} symptoms: {:?}", symptoms.len(), &symptoms[..symptoms.len().min(5)]);
+        assert!(
+            symptoms.is_empty(),
+            "got {} symptoms: {:?}",
+            symptoms.len(),
+            &symptoms[..symptoms.len().min(5)]
+        );
     }
 
     #[test]

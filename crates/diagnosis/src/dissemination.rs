@@ -85,11 +85,8 @@ impl DiagnosticNetwork {
             if self.queue.len() >= self.queue_depth {
                 // Evict the lowest-priority queued symptom if the newcomer
                 // outranks it; otherwise drop the newcomer.
-                if let Some((idx, _)) = self
-                    .queue
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, q)| Self::priority(&q.kind))
+                if let Some((idx, _)) =
+                    self.queue.iter().enumerate().max_by_key(|(_, q)| Self::priority(&q.kind))
                 {
                     if Self::priority(&s.kind) < Self::priority(&self.queue[idx].kind) {
                         self.queue.remove(idx);
@@ -108,10 +105,19 @@ impl DiagnosticNetwork {
     /// Delivers up to one round's bandwidth worth of symptoms to the
     /// diagnostic DAS.
     pub fn deliver_round(&mut self) -> Vec<Symptom> {
-        let n = self.capacity_per_round.min(self.queue.len());
-        let out: Vec<Symptom> = self.queue.drain(..n).collect();
-        self.stats.delivered += out.len() as u64;
+        let mut out = Vec::new();
+        self.deliver_round_into(&mut out);
         out
+    }
+
+    /// Delivers one round's worth of symptoms into a reused buffer
+    /// (cleared first); returns how many were delivered.
+    pub fn deliver_round_into(&mut self, out: &mut Vec<Symptom>) -> usize {
+        out.clear();
+        let n = self.capacity_per_round.min(self.queue.len());
+        out.extend(self.queue.drain(..n));
+        self.stats.delivered += n as u64;
+        n
     }
 
     /// Current backlog.
@@ -141,7 +147,11 @@ mod tests {
     #[test]
     fn delivery_is_fifo_within_budget() {
         let mut net = DiagnosticNetwork::new(2, 8);
-        net.offer(&[sym(SymptomKind::Omission), sym(SymptomKind::SyncLoss), sym(SymptomKind::Omission)]);
+        net.offer(&[
+            sym(SymptomKind::Omission),
+            sym(SymptomKind::SyncLoss),
+            sym(SymptomKind::Omission),
+        ]);
         let got = net.deliver_round();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].kind, SymptomKind::Omission);

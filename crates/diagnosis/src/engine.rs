@@ -55,6 +55,7 @@ pub struct DiagnosticEngine {
     trust: FruAssessor,
     advisor: MaintenanceAdvisor,
     scratch: Vec<crate::symptom::Symptom>,
+    delivered: Vec<crate::symptom::Symptom>,
     slots_per_round: u16,
     slot_in_round: u16,
     matches_last_round: Vec<PatternMatch>,
@@ -77,6 +78,7 @@ impl DiagnosticEngine {
                 sim.spec().jobs.iter().map(|j| (j.id, j.host)).collect(),
             ),
             scratch: Vec::new(),
+            delivered: Vec::new(),
             slots_per_round: sim.schedule().slots_per_round(),
             slot_in_round: 0,
             matches_last_round: Vec::new(),
@@ -91,13 +93,12 @@ impl DiagnosticEngine {
         self.slot_in_round += 1;
         if self.slot_in_round >= self.slots_per_round {
             self.slot_in_round = 0;
-            let delivered = self.network.deliver_round();
+            self.network.deliver_round_into(&mut self.delivered);
             let now = rec.start;
-            self.state.ingest_round(now, delivered);
-            let matches = self.bank.evaluate_round(now, &self.state);
-            self.trust.update_round(&matches);
-            self.advisor.ingest(&matches);
-            self.matches_last_round = matches;
+            self.state.ingest_round_buf(now, &self.delivered);
+            self.bank.evaluate_round_into(now, &self.state, &mut self.matches_last_round);
+            self.trust.update_round(&self.matches_last_round);
+            self.advisor.ingest(&self.matches_last_round);
         }
     }
 
@@ -129,6 +130,12 @@ impl DiagnosticEngine {
     /// The campaign report.
     pub fn report(&self) -> DiagnosticReport {
         self.advisor.report(&self.trust)
+    }
+}
+
+impl decos_platform::SlotObserver for DiagnosticEngine {
+    fn on_slot(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
+        self.observe_slot(sim, rec);
     }
 }
 
@@ -196,9 +203,7 @@ mod tests {
         let rep = eng.report();
         // No removal recommended for any component.
         assert!(
-            !rep.actions()
-                .iter()
-                .any(|(_, a)| *a == MaintenanceAction::ReplaceComponent),
+            !rep.actions().iter().any(|(_, a)| *a == MaintenanceAction::ReplaceComponent),
             "EMI must not cause removals: {:?}",
             rep.actions()
         );

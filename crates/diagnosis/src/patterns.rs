@@ -92,6 +92,17 @@ impl Default for OnaParams {
     }
 }
 
+/// Reused per-round evaluation buffers of the communication patterns
+/// (capacity persists across rounds; contents are rebuilt each round).
+#[derive(Debug, Default)]
+struct CommScratch {
+    tx_event: Vec<bool>,
+    rx_event: Vec<bool>,
+    col_om: Vec<u64>,
+    col_crc: Vec<u64>,
+    zone: Vec<usize>,
+}
+
 /// Per-job static facts the bank needs.
 #[derive(Debug, Clone)]
 struct JobFacts {
@@ -131,6 +142,8 @@ pub struct OnaBank {
     /// TDMA round length in seconds (duty-cycle normalization).
     round_secs: f64,
     rounds: u64,
+    /// Reused comm-pattern buffers.
+    scratch: CommScratch,
 }
 
 impl OnaBank {
@@ -177,6 +190,7 @@ impl OnaBank {
             comm_affected: BTreeMap::new(),
             round_secs: sim.round_len().as_secs_f64(),
             rounds: 0,
+            scratch: CommScratch::default(),
         }
     }
 
@@ -193,20 +207,43 @@ impl OnaBank {
 
     /// Evaluates all ONAs for the round that just completed.
     pub fn evaluate_round(&mut self, now: SimTime, ds: &DistributedState) -> Vec<PatternMatch> {
-        self.rounds += 1;
         let mut out = Vec::new();
-        self.comm_patterns(now, ds, &mut out);
-        self.sync_pattern(now, ds, &mut out);
-        self.overflow_pattern(now, ds, &mut out);
-        self.job_patterns(now, ds, &mut out);
+        self.evaluate_round_into(now, ds, &mut out);
         out
+    }
+
+    /// Evaluates all ONAs into a reused buffer (cleared first); returns the
+    /// number of matches.
+    pub fn evaluate_round_into(
+        &mut self,
+        now: SimTime,
+        ds: &DistributedState,
+        out: &mut Vec<PatternMatch>,
+    ) -> usize {
+        out.clear();
+        self.rounds += 1;
+        // Detach the scratch so its buffers can be filled alongside `&mut
+        // self` borrows inside the evaluators.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.comm_patterns(now, ds, out, &mut scratch);
+        self.scratch = scratch;
+        self.sync_pattern(now, ds, out);
+        self.overflow_pattern(now, ds, out);
+        self.job_patterns(now, ds, out);
+        out.len()
     }
 
     // ---------------------------------------------------------------------
     // Communication-level patterns (massive transient / connector /
     // internal-vs-external).
     // ---------------------------------------------------------------------
-    fn comm_patterns(&mut self, now: SimTime, ds: &DistributedState, out: &mut Vec<PatternMatch>) {
+    fn comm_patterns(
+        &mut self,
+        now: SimTime,
+        ds: &DistributedState,
+        out: &mut Vec<PatternMatch>,
+        scratch: &mut CommScratch,
+    ) {
         let m = ds.pair_matrix(self.params.corr_window_rounds);
         let n_comp = self.positions.len();
 
@@ -216,10 +253,15 @@ impl OnaBank {
         // sees it. An *rx event* at o needs complaints by o about subjects
         // that are NOT tx-event subjects — i.e. errors only o can see,
         // which places the fault on o's receive path.
-        let mut tx_event = vec![false; n_comp];
-        let mut rx_event = vec![false; n_comp];
-        let mut col_om = vec![0u64; n_comp];
-        let mut col_crc = vec![0u64; n_comp];
+        let CommScratch { tx_event, rx_event, col_om, col_crc, zone } = scratch;
+        tx_event.clear();
+        tx_event.resize(n_comp, false);
+        rx_event.clear();
+        rx_event.resize(n_comp, false);
+        col_om.clear();
+        col_om.resize(n_comp, 0);
+        col_crc.clear();
+        col_crc.resize(n_comp, 0);
         let tx_need = (n_comp - 1).max(1);
         for c in 0..n_comp {
             let node = NodeId(c as u16);
@@ -228,17 +270,18 @@ impl OnaBank {
             col_crc[c] = crc;
             tx_event[c] = m.col_breadth(node) >= tx_need;
         }
-        for o in 0..n_comp {
+        for (o, rx) in rx_event.iter_mut().enumerate() {
             let node = NodeId(o as u16);
             let observer_specific = m
                 .pairs
                 .keys()
                 .filter(|(obs, subj)| *obs == node && !tx_event[subj.0 as usize])
                 .count();
-            rx_event[o] = observer_specific >= 2.min(n_comp - 1);
+            *rx = observer_specific >= 2.min(n_comp - 1);
         }
-        let zone: Vec<usize> = (0..n_comp).filter(|&c| tx_event[c] || rx_event[c]).collect();
-        for &c in &zone {
+        zone.clear();
+        zone.extend((0..n_comp).filter(|&c| tx_event[c] || rx_event[c]));
+        for &c in zone.iter() {
             self.comm_affected.insert(NodeId(c as u16), self.rounds);
         }
         if zone.is_empty() {
@@ -260,7 +303,7 @@ impl OnaBank {
                 })
             });
         if clustered && crc_dominant {
-            for &c in &zone {
+            for &c in zone.iter() {
                 out.push(PatternMatch {
                     at: now,
                     fru: FruRef::Component(NodeId(c as u16)),
@@ -274,15 +317,14 @@ impl OnaBank {
         }
 
         // Per-component analysis.
-        for &c in &zone {
+        for &c in zone.iter() {
             let node = NodeId(c as u16);
             let om_dominant = col_om[c] >= col_crc[c];
             if tx_event[c] && rx_event[c] && om_dominant {
                 // Stub fault: the component neither reaches the bus nor
                 // hears it — connector.
                 *self.window_stub_fail.entry(node).or_insert(false) = true;
-                let declared =
-                    self.alpha_stub.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                let declared = self.alpha_stub.get(&node).map(|a| a.is_declared()).unwrap_or(false);
                 out.push(PatternMatch {
                     at: now,
                     fru: FruRef::Component(node),
@@ -369,8 +411,7 @@ impl OnaBank {
             if total > *prev {
                 *prev = total;
                 *self.window_sync_fail.entry(node).or_insert(false) = true;
-                let declared =
-                    self.alpha_sync.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                let declared = self.alpha_sync.get(&node).map(|a| a.is_declared()).unwrap_or(false);
                 out.push(PatternMatch {
                     at: now,
                     fru: FruRef::Component(node),
@@ -390,7 +431,12 @@ impl OnaBank {
     // Configuration pattern: recurring queue overflows with conforming
     // senders.
     // ---------------------------------------------------------------------
-    fn overflow_pattern(&mut self, now: SimTime, ds: &DistributedState, out: &mut Vec<PatternMatch>) {
+    fn overflow_pattern(
+        &mut self,
+        now: SimTime,
+        ds: &DistributedState,
+        out: &mut Vec<PatternMatch>,
+    ) {
         let jobs: Vec<JobId> = ds.symptomatic_jobs().collect();
         for j in jobs {
             let total = ds.job_count(j, "queue-overflow");
@@ -490,9 +536,10 @@ impl OnaBank {
                 self.comm_affected.get(n).is_some_and(|r| self.rounds - r <= comm_window)
             };
             if comm_recent(&facts.host)
-                || facts.upstream.iter().any(|u| {
-                    self.jobs.get(u).is_some_and(|f| comm_recent(&f.host))
-                })
+                || facts
+                    .upstream
+                    .iter()
+                    .any(|u| self.jobs.get(u).is_some_and(|f| comm_recent(&f.host)))
             {
                 continue;
             }
@@ -527,12 +574,11 @@ impl OnaBank {
 
         if let Some(series) = ds.job_value_series(j) {
             let take = series.len().min(self.params.job_window_rounds);
-            let recent: Vec<&(SimTime, f64, bool)> =
-                series.iter().rev().take(take).rev().collect();
+            let recent: Vec<&(SimTime, f64, bool)> = series.iter().rev().take(take).rev().collect();
             if recent.len() >= 3 {
                 // Duty cycle: violations per round over the recent span.
-                let span = recent.last().expect("non-empty").0
-                    - recent.first().expect("non-empty").0;
+                let span =
+                    recent.last().expect("non-empty").0 - recent.first().expect("non-empty").0;
                 let span_rounds = (span.as_secs_f64() / self.round_secs).max(1.0);
                 let viols = recent.iter().filter(|e| e.2).count() as f64;
                 let duty = (viols / span_rounds).min(1.0);
@@ -542,11 +588,8 @@ impl OnaBank {
                 // growth that is obvious over the campaign. Prefer the
                 // violation magnitudes (one consistent unit); fall back to
                 // the drift-proximity series before the first violations.
-                let viol_pts: Vec<(f64, f64)> = series
-                    .iter()
-                    .filter(|e| e.2)
-                    .map(|e| (e.0.as_secs_f64(), e.1))
-                    .collect();
+                let viol_pts: Vec<(f64, f64)> =
+                    series.iter().filter(|e| e.2).map(|e| (e.0.as_secs_f64(), e.1)).collect();
                 let pts: Vec<(f64, f64)> = if viol_pts.len() >= 3 {
                     viol_pts
                 } else {
@@ -631,10 +674,7 @@ mod tests {
         for m in matches.iter().filter(|m| m.fru == fru) {
             *score.entry(m.class).or_insert(0.0) += m.confidence;
         }
-        score
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .map(|(c, _)| c)
+        score.into_iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).map(|(c, _)| c)
     }
 
     #[test]

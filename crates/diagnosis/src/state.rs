@@ -20,6 +20,9 @@ use std::collections::{BTreeMap, VecDeque};
 pub struct DistributedState {
     /// Recent rounds: (round start, symptoms delivered that round).
     recent: VecDeque<(SimTime, Vec<Symptom>)>,
+    /// Recycled round buffers (capacity retained from evicted history
+    /// entries, so steady-state ingestion allocates nothing).
+    spare: Vec<Vec<Symptom>>,
     /// History bound, in rounds.
     horizon_rounds: usize,
     /// Comm-error rate (events/h windows) per subject component.
@@ -49,6 +52,7 @@ impl DistributedState {
     pub fn new(horizon_rounds: usize, trend_window: SimDuration) -> Self {
         DistributedState {
             recent: VecDeque::with_capacity(horizon_rounds + 1),
+            spare: Vec::new(),
             horizon_rounds,
             subject_err_rate: BTreeMap::new(),
             observer_err_rate: BTreeMap::new(),
@@ -63,16 +67,39 @@ impl DistributedState {
 
     /// Ingests the symptoms delivered in one round.
     pub fn ingest_round(&mut self, round_start: SimTime, symptoms: Vec<Symptom>) {
-        for s in &symptoms {
+        self.tally(&symptoms);
+        self.recent.push_back((round_start, symptoms));
+        self.evict_to_horizon();
+    }
+
+    /// Ingests one round's symptoms from a caller-owned buffer, storing a
+    /// copy in a recycled history Vec. Equivalent to
+    /// [`ingest_round`](DistributedState::ingest_round) but allocation-free
+    /// at steady state (and always allocation-free for empty rounds).
+    pub fn ingest_round_buf(&mut self, round_start: SimTime, symptoms: &[Symptom]) {
+        self.tally(symptoms);
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.extend_from_slice(symptoms);
+        self.recent.push_back((round_start, v));
+        self.evict_to_horizon();
+    }
+
+    fn evict_to_horizon(&mut self) {
+        while self.recent.len() > self.horizon_rounds {
+            if let Some((_, mut v)) = self.recent.pop_front() {
+                v.clear();
+                self.spare.push(v);
+            }
+        }
+    }
+
+    /// Updates the long-horizon accumulators with one round's symptoms.
+    fn tally(&mut self, symptoms: &[Symptom]) {
+        for s in symptoms {
             self.total += 1;
             match s.subject {
                 Subject::Component(n) => {
-                    *self
-                        .comp_counts
-                        .entry(n)
-                        .or_default()
-                        .entry(s.kind.label())
-                        .or_insert(0) += 1;
+                    *self.comp_counts.entry(n).or_default().entry(s.kind.label()).or_insert(0) += 1;
                     if s.kind.is_comm_error() {
                         self.subject_err_rate
                             .entry(n)
@@ -85,12 +112,7 @@ impl DistributedState {
                     }
                 }
                 Subject::Job(j) => {
-                    *self
-                        .job_counts
-                        .entry(j)
-                        .or_default()
-                        .entry(s.kind.label())
-                        .or_insert(0) += 1;
+                    *self.job_counts.entry(j).or_default().entry(s.kind.label()).or_insert(0) += 1;
                     let entry = match s.kind {
                         SymptomKind::ValueViolation { deviation, .. } => {
                             Some((s.at, deviation, true))
@@ -107,10 +129,6 @@ impl DistributedState {
                     }
                 }
             }
-        }
-        self.recent.push_back((round_start, symptoms));
-        while self.recent.len() > self.horizon_rounds {
-            self.recent.pop_front();
         }
     }
 
@@ -235,11 +253,7 @@ impl PairMatrix {
 
     /// Components touched by errors in either role.
     pub fn touched(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .pairs
-            .keys()
-            .flat_map(|(o, s)| [*o, *s])
-            .collect();
+        let mut v: Vec<NodeId> = self.pairs.keys().flat_map(|(o, s)| [*o, *s]).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -274,10 +288,12 @@ mod tests {
             vec![
                 sym(0, Subject::Component(NodeId(2)), SymptomKind::Omission, 0),
                 sym(1, Subject::Component(NodeId(2)), SymptomKind::Omission, 0),
-                sym(0, Subject::Job(JobId(5)), SymptomKind::ValueViolation {
-                    deviation: 0.5,
-                    port: PortId(1),
-                }, 0),
+                sym(
+                    0,
+                    Subject::Job(JobId(5)),
+                    SymptomKind::ValueViolation { deviation: 0.5, port: PortId(1) },
+                    0,
+                ),
             ],
         );
         assert_eq!(ds.total(), 3);

@@ -16,8 +16,8 @@
 //! failing" (an external disturbance in their zone).
 
 use decos_platform::{JobId, NodeId};
-use decos_timebase::LatticePoint;
 use decos_sim::time::SimTime;
+use decos_timebase::LatticePoint;
 use decos_vnet::{PortId, VnetId};
 use serde::{Deserialize, Serialize};
 
@@ -117,9 +117,7 @@ impl SymptomKind {
     pub fn is_comm_error(&self) -> bool {
         matches!(
             self,
-            SymptomKind::Omission
-                | SymptomKind::InvalidCrc
-                | SymptomKind::TimingViolation { .. }
+            SymptomKind::Omission | SymptomKind::InvalidCrc | SymptomKind::TimingViolation { .. }
         )
     }
 

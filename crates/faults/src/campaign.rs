@@ -65,7 +65,11 @@ pub fn connector_campaign(node: NodeId, rate_per_hour: f64) -> Vec<FaultSpec> {
 /// plus capacitor aging (value drift) — the full wearout pattern of Fig. 8
 /// (time: increasing frequency; space: one component; value: increasing
 /// deviation).
-pub fn wearout_campaign(node: NodeId, base_rate_per_hour: f64, growth_per_hour: f64) -> Vec<FaultSpec> {
+pub fn wearout_campaign(
+    node: NodeId,
+    base_rate_per_hour: f64,
+    growth_per_hour: f64,
+) -> Vec<FaultSpec> {
     vec![
         FaultSpec {
             id: 1,
@@ -114,9 +118,11 @@ pub fn internal_degradation_campaign(node: NodeId) -> Vec<FaultSpec> {
 /// A virtual-network misconfiguration (job borderline): shrinks the event
 /// network's receive queues. Returns the mutated spec plus the ground-truth
 /// record.
-pub fn misconfiguration_campaign(mut spec: ClusterSpec, factor: u32) -> (ClusterSpec, Vec<FaultSpec>) {
-    spec.config_defects
-        .push((fig10::vnets::C, ConfigDefect::UnderDimensionedRxQueue { factor }));
+pub fn misconfiguration_campaign(
+    mut spec: ClusterSpec,
+    factor: u32,
+) -> (ClusterSpec, Vec<FaultSpec>) {
+    spec.config_defects.push((fig10::vnets::C, ConfigDefect::UnderDimensionedRxQueue { factor }));
     let truth = vec![FaultSpec {
         id: 1,
         kind: FaultKind::VnetMisconfiguration,
@@ -284,9 +290,8 @@ mod tests {
         let a = sample_mixed_fault(&spec, seeds, 3);
         let b = sample_mixed_fault(&spec, seeds, 3);
         assert_eq!(a.1, b.1, "same index, same draw");
-        let classes: std::collections::BTreeSet<FaultClass> = (0..200)
-            .map(|i| sample_mixed_fault(&spec, seeds, i).1[0].class())
-            .collect();
+        let classes: std::collections::BTreeSet<FaultClass> =
+            (0..200).map(|i| sample_mixed_fault(&spec, seeds, i).1[0].class()).collect();
         assert!(classes.len() >= 5, "sampler must cover the taxonomy: {classes:?}");
     }
 

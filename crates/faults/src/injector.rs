@@ -77,9 +77,7 @@ impl ActivationLog {
 
     /// Whether fault `fault_id` was active at `t`.
     pub fn active_at(&self, fault_id: u32, t: SimTime) -> bool {
-        self.windows
-            .iter()
-            .any(|w| w.fault_id == fault_id && w.from <= t && t < w.until)
+        self.windows.iter().any(|w| w.fault_id == fault_id && w.from <= t && t < w.until)
     }
 }
 
@@ -108,9 +106,7 @@ impl FaultState {
             | FaultKind::IcTransient { rate_per_hour, .. }
             | FaultKind::PowerSupplyMarginal { rate_per_hour, .. } => *rate_per_hour,
             FaultKind::ConnectorWearout { base_rate_per_hour, growth_per_hour, .. }
-            | FaultKind::PcbCrack {
-                base_rate_per_hour, growth_per_hour, ..
-            }
+            | FaultKind::PcbCrack { base_rate_per_hour, growth_per_hour, .. }
             | FaultKind::SolderJointCrack { base_rate_per_hour, growth_per_hour, .. } => {
                 base_rate_per_hour + growth_per_hour * since
             }
@@ -225,30 +221,28 @@ impl FaultEnvironment {
                 continue;
             }
             match &f.spec.kind {
-                FaultKind::EmiBurst { center, radius_m, .. } => {
-                    if self.positions[sender.0 as usize].distance(center) <= *radius_m {
-                        d.corrupt_bits += 2 + (self.rng.random::<u32>() % 6);
-                    }
+                FaultKind::EmiBurst { center, radius_m, .. }
+                    if self.positions[sender.0 as usize].distance(center) <= *radius_m =>
+                {
+                    d.corrupt_bits += 2 + (self.rng.random::<u32>() % 6);
                 }
-                FaultKind::CosmicRaySeu { .. } => {
-                    if self.node_of(f.spec.target) == sender {
-                        d.corrupt_bits += 1;
-                    }
+                FaultKind::CosmicRaySeu { .. } if self.node_of(f.spec.target) == sender => {
+                    d.corrupt_bits += 1;
                 }
-                FaultKind::ConnectorIntermittent { .. } | FaultKind::ConnectorWearout { .. } => {
-                    if self.node_of(f.spec.target) == sender {
-                        d.silence = true;
-                    }
+                FaultKind::ConnectorIntermittent { .. } | FaultKind::ConnectorWearout { .. }
+                    if self.node_of(f.spec.target) == sender =>
+                {
+                    d.silence = true;
                 }
-                FaultKind::PcbCrack { .. } | FaultKind::PowerSupplyMarginal { .. } => {
-                    if self.node_of(f.spec.target) == sender {
-                        d.silence = true;
-                    }
+                FaultKind::PcbCrack { .. } | FaultKind::PowerSupplyMarginal { .. }
+                    if self.node_of(f.spec.target) == sender =>
+                {
+                    d.silence = true;
                 }
-                FaultKind::SolderJointCrack { .. } | FaultKind::IcTransient { .. } => {
-                    if self.node_of(f.spec.target) == sender {
-                        d.corrupt_bits += 2 + (self.rng.random::<u32>() % 4);
-                    }
+                FaultKind::SolderJointCrack { .. } | FaultKind::IcTransient { .. }
+                    if self.node_of(f.spec.target) == sender =>
+                {
+                    d.corrupt_bits += 2 + (self.rng.random::<u32>() % 4);
                 }
                 _ => {}
             }
@@ -287,16 +281,15 @@ impl Environment for FaultEnvironment {
     fn component_directive(&mut self, now: SimTime, node: NodeId) -> Option<ComponentDirective> {
         for f in &mut self.faults {
             match &f.spec.kind {
-                FaultKind::IcPermanent { after_hours } => {
+                FaultKind::IcPermanent { after_hours }
                     if !f.fired
                         && f.spec.target == FruRef::Component(node)
                         && now >= f.spec.onset
-                        && now.saturating_since(f.spec.onset).as_hours_f64() >= *after_hours
-                    {
-                        f.fired = true;
-                        f.log_permanent(now, &mut self.log);
-                        return Some(ComponentDirective::Kill);
-                    }
+                        && now.saturating_since(f.spec.onset).as_hours_f64() >= *after_hours =>
+                {
+                    f.fired = true;
+                    f.log_permanent(now, &mut self.log);
+                    return Some(ComponentDirective::Kill);
                 }
                 FaultKind::StressOutage { outage_ms, .. } => {
                     // A stress episode crashes the component: restart with
@@ -328,15 +321,15 @@ impl Environment for FaultEnvironment {
                 continue;
             }
             match &f.spec.kind {
-                FaultKind::EmiBurst { center, radius_m, .. } => {
-                    if self.positions[receiver.0 as usize].distance(center) <= *radius_m {
-                        d.corrupt_bits += 2 + (self.rng.random::<u32>() % 6);
-                    }
+                FaultKind::EmiBurst { center, radius_m, .. }
+                    if self.positions[receiver.0 as usize].distance(center) <= *radius_m =>
+                {
+                    d.corrupt_bits += 2 + (self.rng.random::<u32>() % 6);
                 }
-                FaultKind::ConnectorIntermittent { .. } | FaultKind::ConnectorWearout { .. } => {
-                    if self.node_of(f.spec.target) == receiver {
-                        d.omit = true;
-                    }
+                FaultKind::ConnectorIntermittent { .. } | FaultKind::ConnectorWearout { .. }
+                    if self.node_of(f.spec.target) == receiver =>
+                {
+                    d.omit = true;
                 }
                 _ => {}
             }
@@ -373,26 +366,23 @@ impl Environment for FaultEnvironment {
                 continue;
             }
             match (&f.spec.kind, f.spec.target) {
-                (FaultKind::Bohrbug { trigger_band, offset }, FruRef::Job(j))
-                    if j == job.id =>
-                {
+                (FaultKind::Bohrbug { trigger_band, offset }, FruRef::Job(j)) if j == job.id => {
                     for m in msgs.iter_mut() {
                         if m.value >= trigger_band.0 && m.value <= trigger_band.1 {
                             m.value += *offset;
                         }
                     }
                 }
-                (
-                    FaultKind::Heisenbug { prob_per_dispatch, drop, wrong_value },
-                    FruRef::Job(j),
-                ) if j == job.id => {
-                    if !msgs.is_empty() && self.rng.chance(*prob_per_dispatch * self.accel) {
-                        if *drop {
-                            msgs.clear();
-                        } else {
-                            for m in msgs.iter_mut() {
-                                m.value = *wrong_value;
-                            }
+                (FaultKind::Heisenbug { prob_per_dispatch, drop, wrong_value }, FruRef::Job(j))
+                    if j == job.id
+                        && !msgs.is_empty()
+                        && self.rng.chance(*prob_per_dispatch * self.accel) =>
+                {
+                    if *drop {
+                        msgs.clear();
+                    } else {
+                        for m in msgs.iter_mut() {
+                            m.value = *wrong_value;
                         }
                     }
                 }
@@ -428,7 +418,11 @@ impl Environment for FaultEnvironment {
 
 impl FaultState {
     fn log_permanent(&self, now: SimTime, log: &mut ActivationLog) {
-        log.windows.push(ActivationWindow { fault_id: self.spec.id, from: now, until: SimTime::MAX });
+        log.windows.push(ActivationWindow {
+            fault_id: self.spec.id,
+            from: now,
+            until: SimTime::MAX,
+        });
     }
 }
 
@@ -445,7 +439,11 @@ mod tests {
         (sim, env)
     }
 
-    fn count_errors_per_node(sim: &mut ClusterSim, env: &mut FaultEnvironment, rounds: u64) -> Vec<u64> {
+    fn count_errors_per_node(
+        sim: &mut ClusterSim,
+        env: &mut FaultEnvironment,
+        rounds: u64,
+    ) -> Vec<u64> {
         let mut errs = vec![0u64; 4];
         sim.run_rounds(rounds, env, &mut |_, rec| {
             for o in &rec.observations {
@@ -586,10 +584,7 @@ mod tests {
         }];
         let (mut sim, mut env) = env_with(faults, 1.0);
         sim.run_rounds(10, &mut env, &mut |_, _| {});
-        assert_eq!(
-            sim.job(fig10::jobs::A1).sensor().unwrap().fault(),
-            SensorFault::Stuck(42.0)
-        );
+        assert_eq!(sim.job(fig10::jobs::A1).sensor().unwrap().fault(), SensorFault::Stuck(42.0));
     }
 
     #[test]
@@ -654,15 +649,14 @@ mod tests {
         let rounds = 20_000;
         sim.run_rounds(rounds, &mut env, &mut |_, rec| {
             for (_, msgs) in &rec.sent {
-                wrong += msgs
-                    .iter()
-                    .filter(|m| m.src == fig10::ports::S1 && m.value == 777.0)
-                    .count() as u64;
+                wrong +=
+                    msgs.iter().filter(|m| m.src == fig10::ports::S1 && m.value == 777.0).count()
+                        as u64;
             }
         });
         // ~0.1 % of 20k dispatches, but a corrupted *state* value is
         // rebroadcast until the next dispatch overwrites it, so counts can
         // exceed the trigger count slightly. Expect a small, non-zero tally.
-        assert!(wrong >= 2 && wrong <= 200, "wrong-value frames: {wrong}");
+        assert!((2..=200).contains(&wrong), "wrong-value frames: {wrong}");
     }
 }

@@ -417,10 +417,7 @@ mod tests {
             (FaultKind::IcPermanent { after_hours: 1.0 }, ComponentInternal),
             (FaultKind::CapacitorAging { bias_per_hour: 0.1 }, ComponentInternal),
             (FaultKind::VnetMisconfiguration, JobBorderline),
-            (
-                FaultKind::Bohrbug { trigger_band: (0.0, 1.0), offset: 9.0 },
-                JobInherentSoftware,
-            ),
+            (FaultKind::Bohrbug { trigger_band: (0.0, 1.0), offset: 9.0 }, JobInherentSoftware),
             (
                 FaultKind::Heisenbug { prob_per_dispatch: 0.01, drop: true, wrong_value: 0.0 },
                 JobInherentSoftware,

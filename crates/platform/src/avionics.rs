@@ -128,10 +128,26 @@ pub fn avionics_spec() -> ClusterSpec {
         ComponentSpec { node: NodeId(7), position: aft(3.0), drift_ppm: -3.0 },
     ];
     let dases = vec![
-        DasSpec { id: dases::FCS, name: "flight-control".into(), criticality: Criticality::SafetyCritical },
-        DasSpec { id: dases::AIR, name: "air-data".into(), criticality: Criticality::NonSafetyCritical },
-        DasSpec { id: dases::NAV, name: "navigation".into(), criticality: Criticality::NonSafetyCritical },
-        DasSpec { id: dases::CAB, name: "cabin".into(), criticality: Criticality::NonSafetyCritical },
+        DasSpec {
+            id: dases::FCS,
+            name: "flight-control".into(),
+            criticality: Criticality::SafetyCritical,
+        },
+        DasSpec {
+            id: dases::AIR,
+            name: "air-data".into(),
+            criticality: Criticality::NonSafetyCritical,
+        },
+        DasSpec {
+            id: dases::NAV,
+            name: "navigation".into(),
+            criticality: Criticality::NonSafetyCritical,
+        },
+        DasSpec {
+            id: dases::CAB,
+            name: "cabin".into(),
+            criticality: Criticality::NonSafetyCritical,
+        },
     ];
     let vnets = vec![
         VnetConfig::state(vnets::FCS, 64),
@@ -146,13 +162,10 @@ pub fn avionics_spec() -> ClusterSpec {
     let max_age = SimDuration::from_millis(20);
 
     let mut jobs = Vec::new();
-    for (i, (id, port, host)) in [
-        (jobs::F1, ports::F1, 0u16),
-        (jobs::F2, ports::F2, 1),
-        (jobs::F3, ports::F3, 2),
-    ]
-    .into_iter()
-    .enumerate()
+    for (i, (id, port, host)) in
+        [(jobs::F1, ports::F1, 0u16), (jobs::F2, ports::F2, 1), (jobs::F3, ports::F3, 2)]
+            .into_iter()
+            .enumerate()
     {
         jobs.push(JobSpec {
             id,
@@ -256,12 +269,7 @@ pub fn avionics_spec() -> ClusterSpec {
             das: dases::CAB,
             criticality: Criticality::NonSafetyCritical,
             host: NodeId(host),
-            behavior: JobBehavior::EventSender {
-                vnet: vnets::CAB,
-                port,
-                rate_hz: 120.0,
-                value,
-            },
+            behavior: JobBehavior::EventSender { vnet: vnets::CAB, port, rate_hz: 120.0, value },
         });
     }
     jobs.push(JobSpec {

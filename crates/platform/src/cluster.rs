@@ -19,10 +19,10 @@ use crate::job::{DispatchCtx, JobRuntime, JobSpec};
 use crate::lif::{derive_lif, PortLif};
 use decos_sim::rng::SeedSource;
 use decos_sim::time::{SimDuration, SimTime};
-use decos_timebase::{fta_round, ActionLattice, SyncStatus};
+use decos_timebase::{fta_round_in_place, ActionLattice, SyncStatus};
 use decos_ttnet::{
-    BroadcastBus, ChannelParams, Frame, MembershipChange, MembershipParams, RxDisturbance,
-    SlotAddress, SlotObservation, TdmaSchedule, TxAttempt,
+    BroadcastBus, ChannelParams, Frame, MembershipChange, MembershipParams, ResolveScratch,
+    RxDisturbance, SlotAddress, SlotVerdict, TdmaSchedule, TxSignal,
 };
 use decos_vnet::{encode_segment, ConfigDefect, Message, VnetConfig, VnetId};
 use rand::rngs::SmallRng;
@@ -112,9 +112,7 @@ impl ClusterSpec {
             }
             match das_ids.get(&j.das) {
                 None => return Err(SpecError::UnknownDas(j.id)),
-                Some(c) if *c != j.criticality => {
-                    return Err(SpecError::CriticalityMismatch(j.id))
-                }
+                Some(c) if *c != j.criticality => return Err(SpecError::CriticalityMismatch(j.id)),
                 Some(_) => {}
             }
             for v in j.behavior.vnets() {
@@ -178,10 +176,7 @@ pub enum ObsKind {
 impl ObsKind {
     /// Whether this judgment is an error indication against the owner.
     pub fn is_error(&self) -> bool {
-        matches!(
-            self,
-            ObsKind::Omission | ObsKind::InvalidCrc | ObsKind::TimingViolation { .. }
-        )
+        matches!(self, ObsKind::Omission | ObsKind::InvalidCrc | ObsKind::TimingViolation { .. })
     }
 }
 
@@ -225,6 +220,53 @@ pub struct SlotRecord {
     pub restarts_completed: Vec<NodeId>,
 }
 
+impl SlotRecord {
+    /// A blank record for [`ClusterSim::step_slot_into`]. Every field is
+    /// overwritten by the next step; the blank values are never observed.
+    pub fn empty() -> Self {
+        SlotRecord {
+            addr: SlotAddress { round: 0, slot: decos_ttnet::SlotIndex(0) },
+            start: SimTime::ZERO,
+            owner: NodeId(0),
+            transmitted: false,
+            sent: Vec::new(),
+            observations: Vec::new(),
+            overflow_deltas: Vec::new(),
+            sync_losses: Vec::new(),
+            membership_changes: Vec::new(),
+            restarts_completed: Vec::new(),
+        }
+    }
+
+    /// Rewrites the record for a new slot, retaining every buffer's
+    /// capacity: scalar fields are overwritten, `observations` is refilled
+    /// with `Offline`, the event lists are cleared, and `sent`'s inner
+    /// message vectors are recycled through `pool`.
+    fn reset(
+        &mut self,
+        addr: SlotAddress,
+        start: SimTime,
+        owner: NodeId,
+        n_components: usize,
+        pool: &mut Vec<Vec<Message>>,
+    ) {
+        self.addr = addr;
+        self.start = start;
+        self.owner = owner;
+        self.transmitted = false;
+        for (_, mut msgs) in self.sent.drain(..) {
+            msgs.clear();
+            pool.push(msgs);
+        }
+        self.observations.clear();
+        self.observations.resize(n_components, ObsKind::Offline);
+        self.overflow_deltas.clear();
+        self.sync_losses.clear();
+        self.membership_changes.clear();
+        self.restarts_completed.clear();
+    }
+}
+
 /// Median of a signed sample (0 for an empty slice).
 fn median_i64(xs: &mut [i64]) -> i64 {
     if xs.is_empty() {
@@ -236,6 +278,47 @@ fn median_i64(xs: &mut [i64]) -> i64 {
         xs[n / 2]
     } else {
         ((xs[n / 2 - 1] as i128 + xs[n / 2] as i128) / 2) as i64
+    }
+}
+
+/// Reusable buffers for [`ClusterSim::step_slot_into`]: pure capacity the
+/// steady-state slot pipeline recycles. Contents are transient within one
+/// step; after warm-up a fault-free step performs no heap allocation.
+#[derive(Default)]
+struct StepScratch {
+    /// Operational component indices (round boundary).
+    op: Vec<usize>,
+    /// Clock deviations (round boundary FTA input, global-time median).
+    devs: Vec<i64>,
+    /// Per-node relative deviations handed to the FTA; doubles as the
+    /// median workspace for the post-correction reference.
+    rel: Vec<i64>,
+    /// FTA corrections per operational component.
+    corrections: Vec<i64>,
+    /// Post-correction deviations.
+    post: Vec<i64>,
+    /// Per-(component, vnet) overflow counters at slot entry / exit.
+    overflow_before: Vec<(NodeId, VnetId, u64, u64)>,
+    overflow_after: Vec<(NodeId, VnetId, u64, u64)>,
+    /// Job dispatch output buffer.
+    msgs: Vec<Message>,
+    /// The frame under construction for this slot's transmission.
+    tx_frame: Frame,
+    /// Per-receiver channel disturbances.
+    rx_dist: Vec<RxDisturbance>,
+    /// Channel-resolution buffers (wire frame, verdicts, local copies).
+    resolve: ResolveScratch,
+    /// Recycled inner vectors for [`SlotRecord::sent`].
+    sent_pool: Vec<Vec<Message>>,
+}
+
+/// Snapshot of every endpoint's overflow counters, into a reused buffer.
+fn overflow_snapshot_into(comps: &[ComponentState], out: &mut Vec<(NodeId, VnetId, u64, u64)>) {
+    out.clear();
+    for c in comps {
+        for (id, ep) in &c.endpoints {
+            out.push((c.node(), *id, ep.tx_overflows(), ep.rx_overflows()));
+        }
     }
 }
 
@@ -257,6 +340,7 @@ pub struct ClusterSim {
     rng_bus: SmallRng,
     job_rngs: Vec<SmallRng>,
     round_len: SimDuration,
+    scratch: StepScratch,
 }
 
 impl ClusterSim {
@@ -339,8 +423,7 @@ impl ClusterSim {
 
         let jobs: Vec<JobRuntime> = spec.jobs.iter().cloned().map(JobRuntime::new).collect();
         let job_index = jobs.iter().enumerate().map(|(i, j)| (j.spec().id, i)).collect();
-        let job_rngs =
-            jobs.iter().map(|j| seeds.stream("job", j.spec().id.0 as u64)).collect();
+        let job_rngs = jobs.iter().map(|j| seeds.stream("job", j.spec().id.0 as u64)).collect();
 
         let round_len = schedule.round_len();
         Ok(ClusterSim {
@@ -358,6 +441,7 @@ impl ClusterSim {
             rng_bus: seeds.stream("bus", 0),
             job_rngs,
             round_len,
+            scratch: StepScratch::default(),
         })
     }
 
@@ -422,19 +506,15 @@ impl ClusterSim {
         &self.jobs
     }
 
-    fn overflow_snapshot(&self) -> Vec<(NodeId, VnetId, u64, u64)> {
-        let mut v = Vec::new();
-        for c in &self.comps {
-            for (id, ep) in &c.endpoints {
-                v.push((c.node(), *id, ep.tx_overflows(), ep.rx_overflows()));
-            }
-        }
-        v
-    }
-
     /// Round-boundary housekeeping: lifecycle directives, oscillator drift
     /// updates and fault-tolerant clock resynchronization.
-    fn round_boundary(&mut self, t: SimTime, env: &mut dyn Environment, rec: &mut SlotRecord) {
+    fn round_boundary(
+        &mut self,
+        t: SimTime,
+        env: &mut dyn Environment,
+        rec: &mut SlotRecord,
+        scratch: &mut StepScratch,
+    ) {
         // Lifecycle directives.
         for c in &mut self.comps {
             match env.component_directive(t, c.node()) {
@@ -455,31 +535,40 @@ impl ClusterSim {
             }
         }
         // FTA resynchronization among operational components.
-        let op: Vec<usize> =
-            (0..self.comps.len()).filter(|&i| self.comps[i].is_operational(t)).collect();
-        if op.len() >= 2 {
-            let devs: Vec<i64> = op.iter().map(|&i| self.comps[i].clock.deviation_ns(t)).collect();
-            let k = if op.len() >= 4 { 1 } else { 0 };
-            let mut corrections = Vec::with_capacity(op.len());
-            for (me, _) in op.iter().enumerate() {
-                let rel: Vec<i64> = devs
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != me)
-                    .map(|(_, d)| d - devs[me])
-                    .collect();
-                corrections.push(fta_round(&rel, k).map(|r| r.correction_ns).unwrap_or(0));
+        scratch.op.clear();
+        scratch.op.extend((0..self.comps.len()).filter(|&i| self.comps[i].is_operational(t)));
+        if scratch.op.len() >= 2 {
+            scratch.devs.clear();
+            scratch.devs.extend(scratch.op.iter().map(|&i| self.comps[i].clock.deviation_ns(t)));
+            let k = if scratch.op.len() >= 4 { 1 } else { 0 };
+            scratch.corrections.clear();
+            for me in 0..scratch.op.len() {
+                scratch.rel.clear();
+                scratch.rel.extend(
+                    scratch
+                        .devs
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != me)
+                        .map(|(_, d)| d - scratch.devs[me]),
+                );
+                scratch.corrections.push(
+                    fta_round_in_place(&mut scratch.rel, k).map(|r| r.correction_ns).unwrap_or(0),
+                );
             }
-            for ((&ci, corr), _) in op.iter().zip(&corrections).zip(0..) {
-                self.comps[ci].clock.apply_correction(*corr);
+            for (&ci, &corr) in scratch.op.iter().zip(&scratch.corrections) {
+                self.comps[ci].clock.apply_correction(corr);
             }
             // Post-correction status against the cluster reference. The
             // median (not the mean) is the reference: a single wildly
             // drifting clock must not drag the reference with it and damn
             // the healthy majority.
-            let post: Vec<i64> = op.iter().map(|&i| self.comps[i].clock.deviation_ns(t)).collect();
-            let reference = median_i64(&mut post.clone());
-            for (&ci, &d) in op.iter().zip(&post) {
+            scratch.post.clear();
+            scratch.post.extend(scratch.op.iter().map(|&i| self.comps[i].clock.deviation_ns(t)));
+            scratch.rel.clear();
+            scratch.rel.extend_from_slice(&scratch.post);
+            let reference = median_i64(&mut scratch.rel);
+            for (&ci, &d) in scratch.op.iter().zip(&scratch.post) {
                 let before = self.comps[ci].sync_status();
                 let after = self.comps[ci].sync.observe(d - reference);
                 if before == SyncStatus::Synchronized && after == SyncStatus::SyncLost {
@@ -490,29 +579,46 @@ impl ClusterSim {
     }
 
     /// Advances the simulation by one TDMA slot.
+    ///
+    /// Thin wrapper over [`step_slot_into`](ClusterSim::step_slot_into)
+    /// with a fresh record, so the two paths are identical by
+    /// construction. Steady-state loops should reuse one record via
+    /// `step_slot_into` instead.
     pub fn step_slot(&mut self, env: &mut dyn Environment) -> SlotRecord {
+        let mut rec = SlotRecord::empty();
+        self.step_slot_into(env, &mut rec);
+        rec
+    }
+
+    /// Advances the simulation by one TDMA slot, writing the observation
+    /// into a reused record.
+    ///
+    /// `rec` is fully rewritten: scalar fields are overwritten,
+    /// `observations` is refilled, and the event lists (`sent`,
+    /// `overflow_deltas`, `sync_losses`, `membership_changes`,
+    /// `restarts_completed`) are cleared before the step — nothing from the
+    /// previous slot survives, only buffer *capacity* persists. Together
+    /// with the simulation-owned scratch buffers this makes a fault-free
+    /// steady-state step allocation-free after warm-up, and the trace is
+    /// bit-identical to repeated [`step_slot`](ClusterSim::step_slot)
+    /// calls (same RNG draw order; see
+    /// `BroadcastBus::resolve_slot_into`).
+    pub fn step_slot_into(&mut self, env: &mut dyn Environment, rec: &mut SlotRecord) {
         let addr = self.next;
         let t = self.schedule.start_of(addr);
         self.next = self.schedule.next(addr);
         let owner = self.schedule.owner(addr.slot);
         let oidx = owner.0 as usize;
 
-        let mut rec = SlotRecord {
-            addr,
-            start: t,
-            owner,
-            transmitted: false,
-            sent: Vec::new(),
-            observations: vec![ObsKind::Offline; self.comps.len()],
-            overflow_deltas: Vec::new(),
-            sync_losses: Vec::new(),
-            membership_changes: Vec::new(),
-            restarts_completed: Vec::new(),
-        };
+        // Detach the scratch so its buffers can be used freely alongside
+        // `&mut self` field borrows; reattached at the end of the step.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        rec.reset(addr, t, owner, self.comps.len(), &mut scratch.sent_pool);
 
         env.begin_slot(t, addr);
         if addr.slot.0 == 0 {
-            self.round_boundary(t, env, &mut rec);
+            self.round_boundary(t, env, rec, &mut scratch);
         }
 
         // Complete pending restarts.
@@ -522,7 +628,7 @@ impl ClusterSim {
             }
         }
 
-        let before = self.overflow_snapshot();
+        overflow_snapshot_into(&self.comps, &mut scratch.overflow_before);
 
         // The cluster's global time base is what slot boundaries mean to
         // its members: a sender's observable send offset is its deviation
@@ -530,28 +636,29 @@ impl ClusterSim {
         // operational clocks), not from omniscient physical time — common-
         // mode drift is invisible inside the cluster.
         let global_dev_ns: i64 = {
-            let mut ds: Vec<i64> = self
-                .comps
-                .iter()
-                .filter(|c| c.is_operational(t))
-                .map(|c| c.clock.deviation_ns(t))
-                .collect();
-            median_i64(&mut ds)
+            scratch.devs.clear();
+            scratch.devs.extend(
+                self.comps.iter().filter(|c| c.is_operational(t)).map(|c| c.clock.deviation_ns(t)),
+            );
+            median_i64(&mut scratch.devs)
         };
 
         // --- Sender side -------------------------------------------------
         let tx_dist = env.tx_disturbance(t, owner);
         let operational = self.comps[oidx].is_operational(t);
-        let tx = if !operational || tx_dist.silence {
-            TxAttempt::silent()
-        } else {
-            // Dispatch hosted jobs.
-            let hosted = self.comps[oidx].hosted().to_vec();
-            for jid in hosted {
+        let transmitted = operational && !tx_dist.silence;
+        let mut tx_offset_ns = 0i64;
+        let mut tx_corrupt_bits = 0u32;
+        if transmitted {
+            // Dispatch hosted jobs (by index — the hosted list must not be
+            // cloned, and jobs never change hosts at runtime).
+            for h in 0..self.comps[oidx].hosted().len() {
+                let jid = self.comps[oidx].hosted()[h];
                 let ji = self.job_index[&jid];
                 let job = &mut self.jobs[ji];
                 env.pre_dispatch(t, job);
-                let mut msgs = {
+                scratch.msgs.clear();
+                {
                     let comp = &mut self.comps[oidx];
                     let mut ctx = DispatchCtx {
                         now: t,
@@ -559,13 +666,13 @@ impl ClusterSim {
                         endpoints: &mut comp.endpoints,
                         rng: &mut self.job_rngs[ji],
                     };
-                    job.dispatch(&mut ctx)
-                };
-                env.filter_outputs(t, job.spec(), &mut msgs);
+                    job.dispatch_into(&mut ctx, &mut scratch.msgs);
+                }
+                env.filter_outputs(t, job.spec(), &mut scratch.msgs);
                 if let Some(vnet) = job.spec().behavior.output_vnet() {
                     let comp = &mut self.comps[oidx];
                     if let Some(ep) = comp.endpoints.get_mut(&vnet) {
-                        for m in msgs {
+                        for m in scratch.msgs.drain(..) {
                             ep.send(m);
                         }
                     }
@@ -573,47 +680,50 @@ impl ClusterSim {
             }
 
             // Drain endpoints into the frame, with local loopback.
-            let layout = self.tx_layouts[oidx].clone();
-            let mut payload = Vec::new();
-            for (vnet, bytes) in &layout {
+            scratch.tx_frame.reset_for(owner, addr.round, addr.slot);
+            for s in 0..self.tx_layouts[oidx].len() {
+                let (vnet, bytes) = self.tx_layouts[oidx][s];
                 let comp = &mut self.comps[oidx];
-                let ep = comp.endpoints.get_mut(vnet).expect("layout vnet has endpoint");
-                let msgs = ep.drain_for_slot();
-                if self.rx_vnets[oidx].contains(vnet) {
+                let ep = comp.endpoints.get_mut(&vnet).expect("layout vnet has endpoint");
+                let mut msgs = scratch.sent_pool.pop().unwrap_or_default();
+                ep.drain_for_slot_into(&mut msgs);
+                if self.rx_vnets[oidx].contains(&vnet) {
                     // Local loopback only where a local job consumes.
+                    let ep = self.comps[oidx]
+                        .endpoints
+                        .get_mut(&vnet)
+                        .expect("layout vnet has endpoint");
                     for m in &msgs {
                         ep.deliver_message(*m);
                     }
                 }
-                encode_segment(&msgs, *bytes, &mut payload);
-                rec.sent.push((*vnet, msgs));
+                encode_segment(&msgs, bytes, &mut scratch.tx_frame.payload);
+                rec.sent.push((vnet, msgs));
             }
-            let frame = Frame::new(owner, addr.round, addr.slot, payload);
-            TxAttempt {
-                frame: Some(frame),
-                offset_ns: self.comps[oidx].clock.deviation_ns(t) - global_dev_ns
-                    + tx_dist.extra_offset_ns,
-                source_corrupt_bits: tx_dist.corrupt_bits,
-            }
-        };
-        rec.transmitted = tx.frame.is_some();
+            scratch.tx_frame.seal();
+            tx_offset_ns =
+                self.comps[oidx].clock.deviation_ns(t) - global_dev_ns + tx_dist.extra_offset_ns;
+            tx_corrupt_bits = tx_dist.corrupt_bits;
+        }
+        rec.transmitted = transmitted;
 
         // --- Channel ------------------------------------------------------
-        let rx_dist: Vec<RxDisturbance> = self
-            .comps
-            .iter()
-            .map(|c| {
-                if c.node() == owner || !c.is_operational(t) {
-                    RxDisturbance::NONE
-                } else {
-                    env.rx_disturbance(t, owner, c.node())
-                }
-            })
-            .collect();
-        let obs = self.bus.resolve_slot(&tx, &rx_dist, &mut self.rng_bus);
+        scratch.rx_dist.clear();
+        for c in &self.comps {
+            scratch.rx_dist.push(if c.node() == owner || !c.is_operational(t) {
+                RxDisturbance::NONE
+            } else {
+                env.rx_disturbance(t, owner, c.node())
+            });
+        }
+        let tx = TxSignal {
+            frame: if transmitted { Some(&scratch.tx_frame) } else { None },
+            offset_ns: tx_offset_ns,
+            source_corrupt_bits: tx_corrupt_bits,
+        };
+        self.bus.resolve_slot_into(tx, &scratch.rx_dist, &mut self.rng_bus, &mut scratch.resolve);
 
         // --- Receiver side -------------------------------------------------
-        let layout = self.tx_layouts[oidx].clone();
         for i in 0..self.comps.len() {
             if i == oidx {
                 rec.observations[i] = ObsKind::Own;
@@ -624,13 +734,14 @@ impl ClusterSim {
                 continue;
             }
             let node = self.comps[i].node();
-            let (kind, deliver) = match &obs[i] {
-                SlotObservation::Correct(frame) => (ObsKind::Correct, Some(frame.payload.clone())),
-                SlotObservation::Omission => (ObsKind::Omission, None),
-                SlotObservation::InvalidCrc { .. } => (ObsKind::InvalidCrc, None),
-                SlotObservation::TimingViolation { offset_ns, .. } => {
-                    // Out-of-window frames are discarded by the receiver.
-                    (ObsKind::TimingViolation { offset_ns: *offset_ns }, None)
+            let verdict = scratch.resolve.verdicts[i];
+            let kind = match verdict {
+                SlotVerdict::Correct | SlotVerdict::CorrectLocal(_) => ObsKind::Correct,
+                SlotVerdict::Omission => ObsKind::Omission,
+                SlotVerdict::InvalidCrc { .. } => ObsKind::InvalidCrc,
+                // Out-of-window frames are discarded by the receiver.
+                SlotVerdict::TimingViolation { offset_ns } => {
+                    ObsKind::TimingViolation { offset_ns }
                 }
             };
             rec.observations[i] = kind;
@@ -639,16 +750,17 @@ impl ClusterSim {
             {
                 rec.membership_changes.push((node, change));
             }
-            if let Some(payload) = deliver {
+            if let Some(payload) = scratch.resolve.delivered_payload(verdict) {
                 let mut off = 0usize;
-                for (vnet, bytes) in &layout {
+                for s in 0..self.tx_layouts[oidx].len() {
+                    let (vnet, bytes) = self.tx_layouts[oidx][s];
                     let seg = &payload[off..(off + bytes).min(payload.len())];
                     off += bytes;
-                    if !self.rx_vnets[i].contains(vnet) {
+                    if !self.rx_vnets[i].contains(&vnet) {
                         continue;
                     }
                     let comp = &mut self.comps[i];
-                    if let Some(ep) = comp.endpoints.get_mut(vnet) {
+                    if let Some(ep) = comp.endpoints.get_mut(&vnet) {
                         let _ = ep.deliver_segment(seg);
                     }
                 }
@@ -656,8 +768,8 @@ impl ClusterSim {
         }
 
         // --- Loss accounting ------------------------------------------------
-        let after = self.overflow_snapshot();
-        for (b, a) in before.iter().zip(&after) {
+        overflow_snapshot_into(&self.comps, &mut scratch.overflow_after);
+        for (b, a) in scratch.overflow_before.iter().zip(&scratch.overflow_after) {
             debug_assert_eq!((b.0, b.1), (a.0, a.1));
             if a.2 != b.2 || a.3 != b.3 {
                 rec.overflow_deltas.push(OverflowDelta {
@@ -668,10 +780,12 @@ impl ClusterSim {
                 });
             }
         }
-        rec
+
+        self.scratch = scratch;
     }
 
-    /// Runs `n` whole rounds, feeding every record to `sink`.
+    /// Runs `n` whole rounds, feeding every record to `sink` (one reused
+    /// record; `sink` must copy anything it wants to keep).
     pub fn run_rounds(
         &mut self,
         n: u64,
@@ -679,8 +793,9 @@ impl ClusterSim {
         sink: &mut dyn FnMut(&ClusterSim, &SlotRecord),
     ) {
         let slots = n * self.schedule.slots_per_round() as u64;
+        let mut rec = SlotRecord::empty();
         for _ in 0..slots {
-            let rec = self.step_slot(env);
+            self.step_slot_into(env, &mut rec);
             sink(self, &rec);
         }
     }

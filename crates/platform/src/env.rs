@@ -38,7 +38,8 @@ pub struct TxDisturbance {
 
 impl TxDisturbance {
     /// No disturbance.
-    pub const NONE: TxDisturbance = TxDisturbance { silence: false, extra_offset_ns: 0, corrupt_bits: 0 };
+    pub const NONE: TxDisturbance =
+        TxDisturbance { silence: false, extra_offset_ns: 0, corrupt_bits: 0 };
 }
 
 /// Lifecycle directive for a component, polled at round boundaries.
@@ -71,7 +72,12 @@ pub trait Environment {
     }
 
     /// Receive-side disturbance on the path `sender → receiver`.
-    fn rx_disturbance(&mut self, _now: SimTime, _sender: NodeId, _receiver: NodeId) -> RxDisturbance {
+    fn rx_disturbance(
+        &mut self,
+        _now: SimTime,
+        _sender: NodeId,
+        _receiver: NodeId,
+    ) -> RxDisturbance {
         RxDisturbance::NONE
     }
 
@@ -102,10 +108,7 @@ mod tests {
     fn null_environment_disturbs_nothing() {
         let mut env = NullEnvironment;
         assert_eq!(env.tx_disturbance(SimTime::ZERO, NodeId(0)), TxDisturbance::NONE);
-        assert_eq!(
-            env.rx_disturbance(SimTime::ZERO, NodeId(0), NodeId(1)),
-            RxDisturbance::NONE
-        );
+        assert_eq!(env.rx_disturbance(SimTime::ZERO, NodeId(0), NodeId(1)), RxDisturbance::NONE);
         assert_eq!(env.extra_drift_ppm(SimTime::ZERO, NodeId(0)), 0.0);
     }
 }

@@ -121,9 +121,21 @@ pub fn reference_spec() -> ClusterSpec {
     ];
 
     let dases = vec![
-        DasSpec { id: dases::S, name: "steer-by-wire".into(), criticality: Criticality::SafetyCritical },
-        DasSpec { id: dases::A, name: "body-control".into(), criticality: Criticality::NonSafetyCritical },
-        DasSpec { id: dases::C, name: "multimedia".into(), criticality: Criticality::NonSafetyCritical },
+        DasSpec {
+            id: dases::S,
+            name: "steer-by-wire".into(),
+            criticality: Criticality::SafetyCritical,
+        },
+        DasSpec {
+            id: dases::A,
+            name: "body-control".into(),
+            criticality: Criticality::NonSafetyCritical,
+        },
+        DasSpec {
+            id: dases::C,
+            name: "multimedia".into(),
+            criticality: Criticality::NonSafetyCritical,
+        },
     ];
 
     let vnets = vec![

@@ -172,9 +172,7 @@ impl JobBehavior {
             | JobBehavior::TmrReplica { vnet, .. } => Some(*vnet),
             JobBehavior::Controller { vnet_out, .. }
             | JobBehavior::Gateway { vnet_out, .. }
-            | JobBehavior::TmrVoter { vnet_out, .. } => {
-                Some(*vnet_out)
-            }
+            | JobBehavior::TmrVoter { vnet_out, .. } => Some(*vnet_out),
             JobBehavior::EventConsumer { .. } => None,
         }
     }
@@ -308,11 +306,6 @@ impl JobRuntime {
         self.halted
     }
 
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
-    }
-
     /// Executes one dispatch: consumes inputs, produces output messages.
     ///
     /// The produced messages are returned (not yet submitted to the
@@ -320,46 +313,60 @@ impl JobRuntime {
     /// the hook through which software design faults manifest — before
     /// submission.
     pub fn dispatch(&mut self, ctx: &mut DispatchCtx<'_>) -> Vec<Message> {
-        if self.halted {
-            return Vec::new();
-        }
-        self.counters.dispatches += 1;
-        // Clone the behaviour handle cheaply via matching on a copy of the
-        // discriminating fields; borrow rules prevent matching &self.spec
-        // while mutating self.
-        let behavior = self.spec.behavior.clone();
         let mut out = Vec::new();
-        match behavior {
+        self.dispatch_into(ctx, &mut out);
+        out
+    }
+
+    /// [`dispatch`](JobRuntime::dispatch) appending into a caller-owned
+    /// buffer — the zero-allocation form used by the slot pipeline. Returns
+    /// the number of messages appended.
+    pub fn dispatch_into(&mut self, ctx: &mut DispatchCtx<'_>, out: &mut Vec<Message>) -> usize {
+        if self.halted {
+            return 0;
+        }
+        let start = out.len();
+        // Split borrows: match the behaviour in place while mutating the
+        // runtime state fields (no clone of the behaviour handle).
+        let JobRuntime { spec, seq, sensor, actuator, divergence, counters, halted: _ } = self;
+        counters.dispatches += 1;
+        let mut next_seq = || {
+            *seq += 1;
+            *seq
+        };
+        match &spec.behavior {
             JobBehavior::SensorPublisher { port, .. } | JobBehavior::TmrReplica { port, .. } => {
-                let reading = self
-                    .sensor
+                let reading = sensor
                     .as_ref()
                     .expect("sensor-backed behaviour has a sensor")
                     .read(ctx.now, ctx.rng);
                 if let Some(v) = reading {
-                    out.push(Message { src: port, seq: self.next_seq(), sent_at: ctx.now, value: v });
+                    out.push(Message { src: *port, seq: next_seq(), sent_at: ctx.now, value: v });
                 }
             }
             JobBehavior::Controller {
-                vnet_in, input_src, port, setpoint, gain, out_bounds, ..
+                vnet_in,
+                input_src,
+                port,
+                setpoint,
+                gain,
+                out_bounds,
+                ..
             } => {
-                let input = ctx
-                    .endpoints
-                    .get(&vnet_in)
-                    .and_then(|ep| ep.read_state(input_src))
-                    .copied();
+                let input =
+                    ctx.endpoints.get(vnet_in).and_then(|ep| ep.read_state(*input_src)).copied();
                 match input {
                     Some(m) => {
                         let cmd = (gain * (setpoint - m.value)).clamp(out_bounds.0, out_bounds.1);
-                        self.actuator.command(ctx.now, cmd);
+                        actuator.command(ctx.now, cmd);
                         out.push(Message {
-                            src: port,
-                            seq: self.next_seq(),
+                            src: *port,
+                            seq: next_seq(),
                             sent_at: ctx.now,
                             value: cmd,
                         });
                     }
-                    None => self.counters.input_misses += 1,
+                    None => counters.input_misses += 1,
                 }
             }
             JobBehavior::EventSender { port, rate_hz, value, .. } => {
@@ -367,68 +374,65 @@ impl JobRuntime {
                 let k = ctx.rng.poisson(lambda);
                 for _ in 0..k {
                     out.push(Message {
-                        src: port,
-                        seq: self.next_seq(),
+                        src: *port,
+                        seq: next_seq(),
                         sent_at: ctx.now,
-                        value,
+                        value: *value,
                     });
                 }
             }
             JobBehavior::EventConsumer { vnet, sources, service_per_round } => {
-                if let Some(ep) = ctx.endpoints.get_mut(&vnet) {
+                if let Some(ep) = ctx.endpoints.get_mut(vnet) {
                     for src in sources {
-                        let got = ep.receive_events(src, service_per_round);
-                        self.counters.consumed += got.len() as u64;
+                        counters.consumed += ep.consume_events(*src, *service_per_round) as u64;
                     }
                 }
             }
             JobBehavior::Gateway { vnet_in, input_src, port, .. } => {
-                let input = ctx
-                    .endpoints
-                    .get(&vnet_in)
-                    .and_then(|ep| ep.read_state(input_src))
-                    .copied();
+                let input =
+                    ctx.endpoints.get(vnet_in).and_then(|ep| ep.read_state(*input_src)).copied();
                 match input {
                     Some(m) => out.push(Message {
-                        src: port,
-                        seq: self.next_seq(),
+                        src: *port,
+                        seq: next_seq(),
                         sent_at: ctx.now,
                         value: m.value,
                     }),
-                    None => self.counters.input_misses += 1,
+                    None => counters.input_misses += 1,
                 }
             }
             JobBehavior::TmrVoter { vnet_in, inputs, port, epsilon, max_age, .. } => {
                 let mut vals = [None; 3];
-                if let Some(ep) = ctx.endpoints.get(&vnet_in) {
+                if let Some(ep) = ctx.endpoints.get(vnet_in) {
                     for (i, src) in inputs.iter().enumerate() {
                         if let Some(m) = ep.read_state(*src) {
-                            if ctx.now.saturating_since(m.sent_at) <= max_age {
+                            if ctx.now.saturating_since(m.sent_at) <= *max_age {
                                 vals[i] = Some(m.value);
                             }
                         }
                     }
                 }
-                let outcome = vote(vals, epsilon);
-                self.divergence.observe(&outcome);
+                let outcome = vote(vals, *epsilon);
+                divergence.observe(&outcome);
                 match outcome {
                     Ok(r) => {
-                        self.actuator.command(ctx.now, r.output);
+                        actuator.command(ctx.now, r.output);
                         out.push(Message {
-                            src: port,
-                            seq: self.next_seq(),
+                            src: *port,
+                            seq: next_seq(),
                             sent_at: ctx.now,
                             value: r.output,
                         });
                     }
                     Err(VoteError::InsufficientReplicas { .. }) | Err(VoteError::NoMajority) => {
-                        self.counters.input_misses += 1;
+                        counters.input_misses += 1;
                     }
                 }
             }
         }
-        self.counters.produced += out.len() as u64;
-        out
+        let produced = out.len() - start;
+        counters.produced += produced as u64;
+        produced
     }
 }
 
@@ -606,7 +610,12 @@ mod tests {
         let (mut eps, mut rng) = ctx_parts();
         let ep = eps.get_mut(&VnetId(2)).unwrap();
         for s in 0..10 {
-            ep.deliver_message(Message { src: PortId(20), seq: s, sent_at: SimTime::ZERO, value: 0.0 });
+            ep.deliver_message(Message {
+                src: PortId(20),
+                seq: s,
+                sent_at: SimTime::ZERO,
+                value: 0.0,
+            });
         }
         let mut j = JobRuntime::new(spec(JobBehavior::EventConsumer {
             vnet: VnetId(2),
@@ -725,11 +734,8 @@ mod tests {
         assert_eq!(b.output_port(), Some(PortId(2)));
         assert_eq!(b.output_vnet(), Some(VnetId(3)));
         assert_eq!(b.vnets(), vec![VnetId(1), VnetId(3)]);
-        let c = JobBehavior::EventConsumer {
-            vnet: VnetId(2),
-            sources: vec![],
-            service_per_round: 1,
-        };
+        let c =
+            JobBehavior::EventConsumer { vnet: VnetId(2), sources: vec![], service_per_round: 1 };
         assert_eq!(c.output_port(), None);
         assert_eq!(c.output_vnet(), None);
     }

@@ -17,6 +17,8 @@
 //!   manifestation enters;
 //! * [`cluster`] — the validated cluster specification and the slot-stepped
 //!   simulation producing [`SlotRecord`] interface-state observations;
+//! * [`observer`] — the [`SlotObserver`] trait through which diagnostic
+//!   subsystems and probes consume those records uniformly;
 //! * [`fig10`] — the paper's reference cluster;
 //! * [`avionics`] — a larger 8-LRM cluster exercising the hidden-gateway
 //!   service.
@@ -29,14 +31,18 @@ pub mod fig10;
 pub mod ids;
 pub mod job;
 pub mod lif;
+pub mod observer;
 pub mod tmr;
 pub mod transducer;
 
-pub use cluster::{ClusterSim, ClusterSpec, DasSpec, ObsKind, OverflowDelta, SlotRecord, SpecError};
+pub use cluster::{
+    ClusterSim, ClusterSpec, DasSpec, ObsKind, OverflowDelta, SlotRecord, SpecError,
+};
 pub use component::{ComponentSpec, ComponentState, Power};
 pub use env::{ComponentDirective, Environment, NullEnvironment, TxDisturbance};
 pub use ids::{Criticality, DasId, JobId, NodeId, Position};
 pub use job::{DispatchCtx, JobBehavior, JobCounters, JobRuntime, JobSpec};
 pub use lif::{derive_lif, PortLif, RateLif};
+pub use observer::{ObserverFn, SlotMetrics, SlotObserver};
 pub use tmr::{vote, DivergenceRecord, VoteError, VoteResult};
 pub use transducer::{Actuator, Sensor, SensorFault, SignalModel};

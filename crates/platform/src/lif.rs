@@ -365,7 +365,12 @@ mod tests {
     fn event_sender_lif() {
         let jobs = [job(
             1,
-            JobBehavior::EventSender { vnet: VnetId(2), port: PortId(9), rate_hz: 100.0, value: 1.0 },
+            JobBehavior::EventSender {
+                vnet: VnetId(2),
+                port: PortId(9),
+                rate_hz: 100.0,
+                value: 1.0,
+            },
         )];
         let lif = derive_lif(&jobs);
         assert_eq!(lif[0].kind, PortKind::Event);

@@ -42,8 +42,17 @@ pub enum VoteError {
 ///   two agreeing values still vote; a missing replica is reported as the
 ///   outlier.
 pub fn vote(values: [Option<f64>; 3], epsilon: f64) -> Result<VoteResult, VoteError> {
-    let present: Vec<(usize, f64)> =
-        values.iter().enumerate().filter_map(|(i, v)| v.map(|x| (i, x))).collect();
+    // Fixed-size gather: the voter sits on the per-slot hot path and must
+    // not allocate.
+    let mut gathered = [(0usize, 0.0f64); 3];
+    let mut n = 0;
+    for (i, v) in values.iter().enumerate() {
+        if let Some(x) = v {
+            gathered[n] = (i, *x);
+            n += 1;
+        }
+    }
+    let present = &gathered[..n];
     match present.len() {
         0 | 1 => Err(VoteError::InsufficientReplicas { present: present.len() }),
         2 => {
@@ -65,9 +74,7 @@ pub fn vote(values: [Option<f64>; 3], epsilon: f64) -> Result<VoteResult, VoteEr
             let ac = (a - c).abs() <= epsilon;
             let bc = (b - c).abs() <= epsilon;
             match (ab, ac, bc) {
-                (true, true, true) => {
-                    Ok(VoteResult { output: (a + b + c) / 3.0, outlier: None })
-                }
+                (true, true, true) => Ok(VoteResult { output: (a + b + c) / 3.0, outlier: None }),
                 // Exactly one pair agrees → third is the outlier. When two
                 // pairs agree but not the third pair, the middle value
                 // belongs to both pairs; vote the tightest pair and flag

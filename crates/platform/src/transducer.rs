@@ -200,7 +200,8 @@ mod tests {
 
     #[test]
     fn stuck_sensor_ignores_signal() {
-        let mut s = Sensor::new(SignalModel::Sine { amplitude: 3.0, period_s: 1.0, bias: 0.0 }, 0.0);
+        let mut s =
+            Sensor::new(SignalModel::Sine { amplitude: 3.0, period_s: 1.0, bias: 0.0 }, 0.0);
         s.set_fault(SensorFault::Stuck(7.5));
         let mut r = rng();
         for ms in [0u64, 100, 333, 800] {

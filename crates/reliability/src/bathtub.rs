@@ -74,10 +74,8 @@ impl BathtubModel {
     /// Samples the time-to-failure of one shipped unit (competing risks).
     pub fn sample_failure_hours(&self, rng: &mut SmallRng) -> UnitFailure {
         let weak = rng.chance(self.weak_fraction);
-        let mut best = UnitFailure {
-            hours: self.useful.sample_hours(rng),
-            phase: FailurePhase::UsefulLife,
-        };
+        let mut best =
+            UnitFailure { hours: self.useful.sample_hours(rng), phase: FailurePhase::UsefulLife };
         // Keep the RNG draw sequence fixed regardless of branching: sample
         // wearout unconditionally, infant only for weak units (the chance
         // draw already consumed its stream position).
@@ -192,11 +190,8 @@ mod tests {
         };
         assert!(infant_median < y, "infant median {infant_median} h should be < 1 year");
         // Wearout failures concentrate late.
-        let wear: Vec<f64> = samples
-            .iter()
-            .filter(|u| u.phase == FailurePhase::Wearout)
-            .map(|u| u.hours)
-            .collect();
+        let wear: Vec<f64> =
+            samples.iter().filter(|u| u.phase == FailurePhase::Wearout).map(|u| u.hours).collect();
         let wear_mean = wear.iter().sum::<f64>() / wear.len() as f64;
         assert!(wear_mean > 10.0 * y, "wearout mean {wear_mean} h should be ≥ 10 years");
         // Infant fraction is bounded by the weak fraction.
@@ -215,8 +210,7 @@ mod tests {
         let series = empirical_hazard(&lifetimes, horizon, 25);
         // First bin (year 1) above the plateau (years 3-10), last bins far above.
         let first = series[0].1;
-        let plateau: f64 =
-            series[3..10].iter().map(|p| p.1).sum::<f64>() / 7.0;
+        let plateau: f64 = series[3..10].iter().map(|p| p.1).sum::<f64>() / 7.0;
         let late = series[22].1;
         assert!(first > plateau * 3.0, "first {first} vs plateau {plateau}");
         assert!(late > plateau * 50.0, "late {late} vs plateau {plateau}");

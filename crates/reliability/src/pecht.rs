@@ -35,7 +35,12 @@ pub fn transient_rate_at(
 /// reference year).
 pub fn transient_permanent_ratio(years_ahead: f64, transient_growth_per_year: f64) -> f64 {
     let p = permanent_rate_at(crate::fit::PERMANENT_HW_FIT, 0.0, years_ahead);
-    let t = transient_rate_at(crate::fit::TRANSIENT_HW_FIT, 0.0, years_ahead, transient_growth_per_year);
+    let t = transient_rate_at(
+        crate::fit::TRANSIENT_HW_FIT,
+        0.0,
+        years_ahead,
+        transient_growth_per_year,
+    );
     t.0 / p.0
 }
 

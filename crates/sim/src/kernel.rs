@@ -270,7 +270,10 @@ mod tests {
                 Ev::Chain { tag, period, remaining } => {
                     self.log.push((ctx.now().as_nanos(), tag));
                     if remaining > 0 {
-                        ctx.schedule_in(period, Ev::Chain { tag, period, remaining: remaining - 1 });
+                        ctx.schedule_in(
+                            period,
+                            Ev::Chain { tag, period, remaining: remaining - 1 },
+                        );
                     }
                 }
             }

@@ -243,8 +243,7 @@ impl RateWindows {
     /// index); positive values indicate an increasing failure frequency.
     pub fn trend_slope(&self) -> Option<f64> {
         let rates = self.rates_per_hour();
-        let pts: Vec<(f64, f64)> =
-            rates.iter().enumerate().map(|(i, &r)| (i as f64, r)).collect();
+        let pts: Vec<(f64, f64)> = rates.iter().enumerate().map(|(i, &r)| (i as f64, r)).collect();
         ols_slope(&pts)
     }
 

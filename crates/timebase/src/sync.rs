@@ -48,13 +48,19 @@ pub enum SyncError {
 /// usual damping that avoids overshoot when all nodes correct at once), or
 /// an error when too few measurements survive.
 pub fn fta_round(deviations: &[LocalNanos], k: usize) -> Result<SyncRound, SyncError> {
+    let mut sorted = deviations.to_vec();
+    fta_round_in_place(&mut sorted, k)
+}
+
+/// [`fta_round`] on a caller-owned buffer: sorts `deviations` in place and
+/// allocates nothing, for hot loops that resynchronize every round.
+pub fn fta_round_in_place(deviations: &mut [LocalNanos], k: usize) -> Result<SyncRound, SyncError> {
     let need = 2 * k + 1;
     if deviations.len() < need {
         return Err(SyncError::InsufficientMeasurements { have: deviations.len(), need });
     }
-    let mut sorted = deviations.to_vec();
-    sorted.sort_unstable();
-    let used = &sorted[k..sorted.len() - k];
+    deviations.sort_unstable();
+    let used = &deviations[k..deviations.len() - k];
     let sum: i128 = used.iter().map(|&d| d as i128).sum();
     let avg = (sum / used.len() as i128) as i64;
     let observed_precision_ns =
@@ -68,7 +74,11 @@ pub fn fta_round(deviations: &[LocalNanos], k: usize) -> Result<SyncRound, SyncE
 /// `Π ≈ 2ρR + ε` where `ρ` is the maximum drift rate (unitless, e.g.
 /// `100e-6` for 100 ppm), `R` the resynchronization interval in ns and `ε`
 /// the reading-error bound in ns.
-pub fn precision_bound_ns(max_drift_ppm: f64, resync_interval_ns: u64, reading_error_ns: u64) -> u64 {
+pub fn precision_bound_ns(
+    max_drift_ppm: f64,
+    resync_interval_ns: u64,
+    reading_error_ns: u64,
+) -> u64 {
     let rho = max_drift_ppm.abs() * 1e-6;
     (2.0 * rho * resync_interval_ns as f64).ceil() as u64 + reading_error_ns
 }

@@ -56,7 +56,7 @@ proptest! {
         shift in -1_000_000i64..1_000_000,
         k in 0usize..2,
     ) {
-        prop_assume!(devs.len() >= 2 * k + 1);
+        prop_assume!(devs.len() > 2 * k);
         let base = fta_round(&devs, k).unwrap();
         let shifted: Vec<i64> = devs.iter().map(|d| d + shift).collect();
         let moved = fta_round(&shifted, k).unwrap();

@@ -7,7 +7,7 @@
 //! detect masquerading and slot confusion; a CRC-32 trailer converts value
 //! corruption into detectable invalidity.
 
-use crate::crc::crc32;
+use crate::crc::Crc32;
 use crate::schedule::SlotIndex;
 use decos_sim::rng::SampleExt;
 use rand::rngs::SmallRng;
@@ -50,12 +50,49 @@ impl Frame {
     }
 
     fn compute_crc(sender: NodeId, round: u64, slot: SlotIndex, payload: &[u8]) -> u32 {
-        let mut buf = Vec::with_capacity(payload.len() + 12);
-        buf.extend_from_slice(&sender.0.to_le_bytes());
-        buf.extend_from_slice(&round.to_le_bytes());
-        buf.extend_from_slice(&slot.0.to_le_bytes());
-        buf.extend_from_slice(payload);
-        crc32(&buf)
+        let mut crc = Crc32::new();
+        crc.update(&sender.0.to_le_bytes());
+        crc.update(&round.to_le_bytes());
+        crc.update(&slot.0.to_le_bytes());
+        crc.update(payload);
+        crc.finish()
+    }
+
+    /// A blank frame for buffer reuse: fill the header with [`reset_for`]
+    /// (or [`copy_from`]), append to `payload`, then [`seal`].
+    ///
+    /// [`reset_for`]: Frame::reset_for
+    /// [`copy_from`]: Frame::copy_from
+    /// [`seal`]: Frame::seal
+    pub fn empty() -> Self {
+        Frame { sender: NodeId(0), round: 0, slot: SlotIndex(0), payload: Vec::new(), crc: 0 }
+    }
+
+    /// Rewrites the header in place and clears the payload, keeping its
+    /// capacity. The CRC is stale until [`Frame::seal`] is called.
+    pub fn reset_for(&mut self, sender: NodeId, round: u64, slot: SlotIndex) {
+        self.sender = sender;
+        self.round = round;
+        self.slot = slot;
+        self.payload.clear();
+        self.crc = 0;
+    }
+
+    /// Becomes a copy of `src` without giving up this frame's payload
+    /// buffer (the reusing counterpart of `clone_from` with an explicit
+    /// contract: capacity is retained).
+    pub fn copy_from(&mut self, src: &Frame) {
+        self.sender = src.sender;
+        self.round = src.round;
+        self.slot = src.slot;
+        self.payload.clear();
+        self.payload.extend_from_slice(&src.payload);
+        self.crc = src.crc;
+    }
+
+    /// Recomputes the CRC over the current header and payload.
+    pub fn seal(&mut self) {
+        self.crc = Self::compute_crc(self.sender, self.round, self.slot, &self.payload);
     }
 
     /// Whether the CRC matches the content.
@@ -89,6 +126,12 @@ impl Frame {
     /// Total length on the wire in bytes (header 12 + payload + CRC 4).
     pub fn wire_len(&self) -> usize {
         12 + self.payload.len() + 4
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::empty()
     }
 }
 
@@ -200,6 +243,26 @@ mod tests {
         assert!(!SlotObservation::Omission.is_correct());
         assert!(!SlotObservation::InvalidCrc { claimed_sender: NodeId(1) }.is_correct());
         assert!(!SlotObservation::TimingViolation { frame: frame(), offset_ns: 99 }.is_correct());
+    }
+
+    #[test]
+    fn reused_frame_sealed_in_place_equals_fresh_frame() {
+        let mut reused = Frame::empty();
+        reused.payload.extend_from_slice(&[9, 9, 9, 9]); // stale content
+        reused.reset_for(NodeId(3), 17, SlotIndex(2));
+        reused.payload.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42]);
+        reused.seal();
+        assert_eq!(reused, frame());
+        assert!(reused.is_valid());
+    }
+
+    #[test]
+    fn copy_from_preserves_equality_and_validity() {
+        let mut dst = Frame::empty();
+        dst.payload.reserve(64);
+        dst.copy_from(&frame());
+        assert_eq!(dst, frame());
+        assert!(dst.is_valid());
     }
 
     #[test]

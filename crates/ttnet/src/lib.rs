@@ -23,7 +23,9 @@ pub mod guardian;
 pub mod membership;
 pub mod schedule;
 
-pub use bus::{BroadcastBus, ChannelParams, RxDisturbance, TxAttempt};
+pub use bus::{
+    BroadcastBus, ChannelParams, ResolveScratch, RxDisturbance, SlotVerdict, TxAttempt, TxSignal,
+};
 pub use frame::{Frame, NodeId, SlotObservation};
 pub use guardian::{BusGuardian, GuardianMode, GuardianVerdict};
 pub use membership::{MembershipChange, MembershipParams, MembershipService, MembershipVector};

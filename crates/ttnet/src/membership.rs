@@ -196,7 +196,8 @@ mod tests {
 
     #[test]
     fn departure_after_threshold() {
-        let mut s = MembershipService::new(3, MembershipParams { fail_threshold: 2, rejoin_threshold: 2 });
+        let mut s =
+            MembershipService::new(3, MembershipParams { fail_threshold: 2, rejoin_threshold: 2 });
         assert_eq!(s.observe_slot(NodeId(1), false), None);
         assert_eq!(s.observe_slot(NodeId(1), false), Some(MembershipChange::Departed(NodeId(1))));
         assert!(!s.view().contains(NodeId(1)));
@@ -224,7 +225,8 @@ mod tests {
 
     #[test]
     fn interleaved_failures_reset_rejoin_progress() {
-        let mut s = MembershipService::new(2, MembershipParams { fail_threshold: 1, rejoin_threshold: 3 });
+        let mut s =
+            MembershipService::new(2, MembershipParams { fail_threshold: 1, rejoin_threshold: 3 });
         s.observe_slot(NodeId(0), false);
         s.observe_slot(NodeId(0), true);
         s.observe_slot(NodeId(0), true);
@@ -237,7 +239,8 @@ mod tests {
 
     #[test]
     fn flicker_counts_accumulate() {
-        let mut s = MembershipService::new(2, MembershipParams { fail_threshold: 1, rejoin_threshold: 1 });
+        let mut s =
+            MembershipService::new(2, MembershipParams { fail_threshold: 1, rejoin_threshold: 1 });
         for _ in 0..5 {
             s.observe_slot(NodeId(1), false);
             s.observe_slot(NodeId(1), true);

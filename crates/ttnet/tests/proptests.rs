@@ -3,8 +3,8 @@
 use decos_sim::{SeedSource, SimDuration, SimTime};
 use decos_ttnet::crc::{crc32, Crc32};
 use decos_ttnet::{
-    BroadcastBus, ChannelParams, Frame, GuardianMode, MembershipParams, MembershipService,
-    NodeId, RxDisturbance, SlotIndex, TdmaSchedule, TxAttempt,
+    BroadcastBus, ChannelParams, Frame, GuardianMode, MembershipParams, MembershipService, NodeId,
+    RxDisturbance, SlotIndex, TdmaSchedule, TxAttempt,
 };
 use proptest::prelude::*;
 

@@ -47,6 +47,19 @@ pub enum DecodeError {
 
 /// Decodes a segment produced by [`encode_segment`].
 pub fn decode_segment(seg: &[u8]) -> Result<Vec<Message>, DecodeError> {
+    let mut msgs = Vec::new();
+    decode_segment_with(seg, |m| msgs.push(m))?;
+    Ok(msgs)
+}
+
+/// Streaming form of [`decode_segment`]: hands each message to `sink`
+/// without building a vector. Length validation happens up front, so
+/// `sink` is never called on a segment that errors. Returns the message
+/// count.
+pub fn decode_segment_with(
+    seg: &[u8],
+    mut sink: impl FnMut(Message),
+) -> Result<usize, DecodeError> {
     if seg.len() < 2 {
         return Err(DecodeError::Truncated);
     }
@@ -55,7 +68,6 @@ pub fn decode_segment(seg: &[u8]) -> Result<Vec<Message>, DecodeError> {
     if seg.len() < need {
         return Err(DecodeError::Truncated);
     }
-    let mut msgs = Vec::with_capacity(count);
     let mut off = 2;
     for _ in 0..count {
         let src = PortId(u32::from_le_bytes(seg[off..off + 4].try_into().expect("len checked")));
@@ -66,9 +78,9 @@ pub fn decode_segment(seg: &[u8]) -> Result<Vec<Message>, DecodeError> {
         off += 8;
         let value = f64::from_le_bytes(seg[off..off + 8].try_into().expect("len checked"));
         off += 8;
-        msgs.push(Message { src, seq, sent_at: SimTime::from_nanos(sent), value });
+        sink(Message { src, seq, sent_at: SimTime::from_nanos(sent), value });
     }
-    Ok(msgs)
+    Ok(count)
 }
 
 /// Number of whole messages a segment of `capacity` bytes can carry.

@@ -42,7 +42,13 @@ pub struct VnetConfig {
 impl VnetConfig {
     /// A state-semantics network configuration.
     pub fn state(id: VnetId, bytes_per_slot: usize) -> Self {
-        VnetConfig { id, kind: PortKind::State, bytes_per_slot, tx_queue_depth: 1, rx_queue_depth: 1 }
+        VnetConfig {
+            id,
+            kind: PortKind::State,
+            bytes_per_slot,
+            tx_queue_depth: 1,
+            rx_queue_depth: 1,
+        }
     }
 
     /// An event-semantics network configuration.

@@ -12,7 +12,7 @@
 //! bandwidth-bound backlog — because those counters are exactly the
 //! interface state the diagnostic configuration-fault detector monitors.
 
-use crate::codec::{decode_segment, encode_segment, DecodeError};
+use crate::codec::{decode_segment_with, encode_segment, DecodeError};
 use crate::config::VnetConfig;
 use crate::port::{EventPort, Message, PortId, PortKind, PushOutcome, StatePort};
 use decos_sim::time::SimTime;
@@ -76,10 +76,23 @@ impl VnetEndpoint {
     /// queue. Truncation order for state networks is the deterministic
     /// `PortId` order.
     pub fn drain_for_slot(&mut self) -> Vec<Message> {
+        let mut out = Vec::new();
+        self.drain_for_slot_into(&mut out);
+        out
+    }
+
+    /// [`drain_for_slot`](VnetEndpoint::drain_for_slot) into a caller-owned
+    /// buffer, appending. Returns the number of messages drained; allocates
+    /// only if `out` must grow.
+    pub fn drain_for_slot_into(&mut self, out: &mut Vec<Message>) -> usize {
         let fit = crate::codec::segment_message_capacity(self.cfg.bytes_per_slot);
         match self.cfg.kind {
-            PortKind::State => self.tx_state.values().copied().take(fit).collect(),
-            PortKind::Event => self.tx_queue.pop_up_to(fit),
+            PortKind::State => {
+                let start = out.len();
+                out.extend(self.tx_state.values().copied().take(fit));
+                out.len() - start
+            }
+            PortKind::Event => self.tx_queue.pop_up_to_into(fit, out),
         }
     }
 
@@ -106,18 +119,16 @@ impl VnetEndpoint {
     /// Returns the number of messages delivered; decode failures are
     /// counted and yield zero.
     pub fn deliver_segment(&mut self, seg: &[u8]) -> Result<usize, DecodeError> {
-        let msgs = match decode_segment(seg) {
-            Ok(m) => m,
+        // Streaming decode: messages go straight into the receive ports,
+        // no intermediate vector. Validation happens before the first
+        // delivery, so a bad segment delivers nothing.
+        match decode_segment_with(seg, |m| self.deliver_message(m)) {
+            Ok(n) => Ok(n),
             Err(e) => {
                 self.decode_errors += 1;
-                return Err(e);
+                Err(e)
             }
-        };
-        let n = msgs.len();
-        for m in msgs {
-            self.deliver_message(m);
         }
-        Ok(n)
     }
 
     /// Delivers a single inbound message.
@@ -140,13 +151,25 @@ impl VnetEndpoint {
     }
 
     /// Staleness of the state value from `src` at `now`.
-    pub fn state_staleness(&self, src: PortId, now: SimTime) -> Option<decos_sim::time::SimDuration> {
+    pub fn state_staleness(
+        &self,
+        src: PortId,
+        now: SimTime,
+    ) -> Option<decos_sim::time::SimDuration> {
         self.rx_state.get(&src).and_then(|p| p.staleness(now))
     }
 
     /// Pops up to `n` queued event messages from source port `src`.
     pub fn receive_events(&mut self, src: PortId, n: usize) -> Vec<Message> {
         self.rx_queues.get_mut(&src).map(|q| q.pop_up_to(n)).unwrap_or_default()
+    }
+
+    /// Pops and discards up to `n` queued event messages from source port
+    /// `src`, returning how many were consumed — the allocation-free form
+    /// of [`receive_events`](VnetEndpoint::receive_events) for consumers
+    /// that only need the count.
+    pub fn consume_events(&mut self, src: PortId, n: usize) -> usize {
+        self.rx_queues.get_mut(&src).map(|q| q.discard_up_to(n)).unwrap_or(0)
     }
 
     /// Receive-side overflow count, summed over all source ports — the

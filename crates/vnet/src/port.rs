@@ -154,8 +154,25 @@ impl EventPort {
 
     /// Dequeues up to `n` messages.
     pub fn pop_up_to(&mut self, n: usize) -> Vec<Message> {
+        let mut out = Vec::new();
+        self.pop_up_to_into(n, &mut out);
+        out
+    }
+
+    /// Dequeues up to `n` messages into `out`, appending. Returns how many
+    /// were moved; allocates only if `out` must grow.
+    pub fn pop_up_to_into(&mut self, n: usize, out: &mut Vec<Message>) -> usize {
         let k = n.min(self.queue.len());
-        self.queue.drain(..k).collect()
+        out.extend(self.queue.drain(..k));
+        k
+    }
+
+    /// Dequeues and discards up to `n` messages, returning how many were
+    /// dropped — for consumers that only need the count.
+    pub fn discard_up_to(&mut self, n: usize) -> usize {
+        let k = n.min(self.queue.len());
+        self.queue.drain(..k);
+        k
     }
 
     /// Messages accepted since creation.

@@ -13,8 +13,8 @@
 //! cargo run --release --example steer_by_wire
 //! ```
 
-use decos::prelude::*;
 use decos::faults::campaign;
+use decos::prelude::*;
 
 fn print_verdicts(label: &str, outcome: &CampaignOutcome) {
     println!("\n--- {label} ---");
@@ -45,18 +45,19 @@ fn main() {
     let va = out_a.report.verdict_of(FruRef::Job(fig10::jobs::S2)).expect("S2 assessed");
     assert_eq!(va.class, Some(FaultClass::JobInherentTransducer));
     assert!(
-        out_a
-            .report
-            .actions()
-            .iter()
-            .all(|(_, act)| *act != MaintenanceAction::ReplaceComponent),
+        out_a.report.actions().iter().all(|(_, act)| *act != MaintenanceAction::ReplaceComponent),
         "no hardware replacement for a sensor fault"
     );
 
     // Scenario B: component 1 wears out internally. S2 (DAS S), A3 (DAS A)
     // and C1 (DAS C) all degrade together — only shared hardware explains
     // that.
-    let b = Campaign::reference(campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0), 1.0, 15_000, 7);
+    let b = Campaign::reference(
+        campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0),
+        1.0,
+        15_000,
+        7,
+    );
     let out_b = run_campaign(&b).expect("valid spec");
     print_verdicts("scenario B: internal hardware fault at component 1", &out_b);
     let vb = out_b.report.verdict_of(FruRef::Component(NodeId(1))).expect("component 1 assessed");

@@ -14,10 +14,7 @@ use decos::prelude::*;
 
 fn sparkline(series: &[(f64, f64)]) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    series
-        .iter()
-        .map(|&(_, t)| LEVELS[((t * 7.0).round() as usize).min(7)])
-        .collect()
+    series.iter().map(|&(_, t)| LEVELS[((t * 7.0).round() as usize).min(7)]).collect()
 }
 
 fn main() {

@@ -10,15 +10,12 @@
 //! cargo run --release --example workshop_triage
 //! ```
 
-use decos::prelude::*;
 use decos::diagnosis::REMOVAL_COST_USD;
+use decos::prelude::*;
 
 fn main() {
     let cfg = FleetConfig { vehicles: 60, rounds: 4_000, accel: 10.0, seed: 2005 };
-    println!(
-        "simulating {} vehicles × {} rounds (rayon-parallel)...",
-        cfg.vehicles, cfg.rounds
-    );
+    println!("simulating {} vehicles × {} rounds (rayon-parallel)...", cfg.vehicles, cfg.rounds);
     let out = run_fleet(&fig10::reference_spec(), cfg);
 
     println!("\nground-truth fault mix:");

@@ -61,7 +61,11 @@ fn transient_durations_are_tens_of_milliseconds() {
     // (e.g. < 50 ms steering-outage bound [34]).
     let faults = vec![FaultSpec {
         id: 1,
-        kind: FaultKind::PcbCrack { base_rate_per_hour: 50_000.0, growth_per_hour: 0.0, outage_ms: 30.0 },
+        kind: FaultKind::PcbCrack {
+            base_rate_per_hour: 50_000.0,
+            growth_per_hour: 0.0,
+            outage_ms: 30.0,
+        },
         target: FruRef::Component(NodeId(1)),
         onset: SimTime::ZERO,
     }];
@@ -176,11 +180,7 @@ fn software_failures_follow_the_20_80_rule() {
         })
         .collect();
     let c = concentration(&counts);
-    assert!(
-        (0.7..0.9).contains(&c.top20_share),
-        "top-20% share {} should be ~0.8",
-        c.top20_share
-    );
+    assert!((0.7..0.9).contains(&c.top20_share), "top-20% share {} should be ~0.8", c.top20_share);
 }
 
 #[test]

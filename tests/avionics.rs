@@ -41,11 +41,7 @@ fn air_sensor_fault_blames_sensor_not_gateway_chain() {
         }
     }
     // And no hardware replacement anywhere.
-    assert!(out
-        .report
-        .actions()
-        .iter()
-        .all(|(_, a)| *a != MaintenanceAction::ReplaceComponent));
+    assert!(out.report.actions().iter().all(|(_, a)| *a != MaintenanceAction::ReplaceComponent));
 }
 
 #[test]

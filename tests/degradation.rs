@@ -24,8 +24,7 @@ fn diagnosis_survives_symptom_floods_on_a_starved_network() {
         onset: SimTime::ZERO,
     }];
     let c = Campaign::reference(faults, 10.0, 4_000, 31);
-    let mut params = EngineParams::default();
-    params.net_capacity_per_round = 4;
+    let params = EngineParams { net_capacity_per_round: 4, ..Default::default() };
     let mut last_stats = None;
     let out = run_campaign_with_params(&c, params, |_, eng, _| {
         last_stats = Some(eng.dissemination_stats());
@@ -34,10 +33,7 @@ fn diagnosis_survives_symptom_floods_on_a_starved_network() {
     let stats = last_stats.unwrap();
     assert!(stats.dropped > 0, "the storm must saturate the 4/round budget");
     assert!(
-        !out.report
-            .actions()
-            .iter()
-            .any(|(_, a)| *a == MaintenanceAction::ReplaceComponent),
+        !out.report.actions().iter().any(|(_, a)| *a == MaintenanceAction::ReplaceComponent),
         "even under symptom loss, EMI must not cause removals: {:?}",
         out.report.actions()
     );
@@ -75,8 +71,7 @@ fn late_onset_fault_leaves_early_trust_untouched() {
     let mut trust_before_onset = 1.0f64;
     let out = run_campaign_with_params(&c, EngineParams::default(), |_, eng, rec| {
         if rec.start < onset {
-            trust_before_onset =
-                trust_before_onset.min(eng.trust_of(FruRef::Component(NodeId(1))));
+            trust_before_onset = trust_before_onset.min(eng.trust_of(FruRef::Component(NodeId(1))));
         }
     })
     .unwrap();

@@ -5,7 +5,7 @@
 //! DAS, virtual networks cannot interfere, and the diagnostic subsystem
 //! never implicates unrelated FRUs.
 
-use decos::diagnosis::{SymptomDetectors, Subject};
+use decos::diagnosis::{Subject, SymptomDetectors};
 use decos::faults::{campaign, FaultEnvironment};
 use decos::prelude::*;
 use decos::sim::SeedSource;

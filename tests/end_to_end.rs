@@ -33,11 +33,7 @@ fn component_external_emi_no_action() {
     }];
     let out = run_campaign(&Campaign::reference(faults, 10.0, 6_000, 1)).unwrap();
     // Every decided component verdict is external; nobody is replaced.
-    assert!(out
-        .report
-        .actions()
-        .iter()
-        .all(|(_, a)| *a == MaintenanceAction::NoAction));
+    assert!(out.report.actions().iter().all(|(_, a)| *a == MaintenanceAction::NoAction));
     assert!(out.report.verdicts.iter().any(|v| v.class == Some(FaultClass::ComponentExternal)));
 }
 

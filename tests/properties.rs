@@ -49,7 +49,7 @@ proptest! {
         devs in proptest::collection::vec(-1_000_000i64..1_000_000, 3..12),
         k in 0usize..3,
     ) {
-        prop_assume!(devs.len() >= 2 * k + 1);
+        prop_assume!(devs.len() > 2 * k);
         let r = fta_round(&devs, k).unwrap();
         let mut sorted = devs.clone();
         sorted.sort_unstable();

@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `harness = false` benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box`, `Bencher::iter`) with a simple wall-clock measurement:
+//! a short warm-up calibrates the iteration count, the timed run reports
+//! mean ns/iter plus throughput when configured. No statistics machinery,
+//! plots, or saved baselines — numbers print to stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup { _criterion: self, name, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(None, &id.into().label, None, f);
+        self
+    }
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", function.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(Some(&self.name), &id.into().label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(Some(&self.name), &id.into().label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (separator line only; nothing is saved).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` performs the measurement.
+pub struct Bencher {
+    mode: Mode,
+    result: Option<(u64, Duration)>,
+}
+
+enum Mode {
+    Warmup { budget: Duration },
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    /// Measures `f` over the harness-chosen number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < budget {
+                    black_box(f());
+                    iters += 1;
+                }
+                self.result = Some((iters, start.elapsed()));
+            }
+            Mode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.result = Some((iters, start.elapsed()));
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: run for a short budget to calibrate cost per iteration.
+    let mut warm = Bencher { mode: Mode::Warmup { budget: Duration::from_millis(60) }, result: None };
+    f(&mut warm);
+    let (warm_iters, warm_time) = warm.result.expect("bench closure must call Bencher::iter");
+    let per_iter_ns = (warm_time.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+    // Measurement: aim for ~250 ms of work.
+    let target_ns = 250_000_000.0;
+    let iters = ((target_ns / per_iter_ns) as u64).clamp(1, 10_000_000);
+    let mut bench = Bencher { mode: Mode::Measure { iters }, result: None };
+    f(&mut bench);
+    let (iters, time) = bench.result.expect("bench closure must call Bencher::iter");
+    let ns = time.as_nanos() as f64 / iters.max(1) as f64;
+
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("  {full:<48} {:>12.1} ns/iter over {iters} iters{rate}", ns);
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // CLI flags (--bench, filters) are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,525 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/
+//! `prop_assume!`, range and tuple strategies, `any::<T>()`,
+//! `collection::vec`, `option::of`, `num::*::ANY`, and a small `[class]{m,n}`
+//! string-pattern strategy.
+//!
+//! Semantics versus real proptest: cases are drawn from a generator seeded
+//! deterministically from the test name (stable across runs and platforms);
+//! there is **no shrinking** — a failing case reports the assertion message
+//! only. Case count defaults to 64 and is overridable with
+//! `PROPTEST_CASES`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+/// Deterministic per-test generator.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a), so each test gets a stable stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.random::<f64>()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Drives one property: draws cases until the configured count passes,
+/// re-drawing rejected cases, and panicking on the first failure.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(50).max(1_000),
+            "proptest `{name}`: prop_assume! rejected too many cases"
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed (case {accepted} of {cases}): {msg}")
+            }
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---- integer / float ranges -----------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )+};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )+};
+}
+
+impl_float_range!(f32, f64);
+
+// ---- any::<T>() ------------------------------------------------------------
+
+/// Full-domain strategy for a primitive type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        (rng.next_u64() >> 63) != 0
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, broad-magnitude doubles (no NaN/inf — assertions compare).
+        let mag = (rng.unit_f64() * 600.0) - 300.0;
+        let sign = if (rng.next_u64() >> 63) != 0 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag).min(f64::MAX / 2.0)
+    }
+}
+
+// ---- combinators -----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for [`vec`].
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end.max(r.start + 1) }
+        }
+    }
+
+    impl From<std::ops::Range<i32>> for SizeRange {
+        fn from(r: std::ops::Range<i32>) -> Self {
+            SizeRange::from(r.start.max(0) as usize..r.end.max(1) as usize)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem` with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident => $t:ty),+ $(,)?) => {$(
+            pub mod $m {
+                /// The full domain of the primitive.
+                pub struct AnyStrategy;
+                /// Full-domain strategy constant, proptest-style.
+                pub const ANY: AnyStrategy = AnyStrategy;
+                impl crate::Strategy for AnyStrategy {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut crate::TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )+};
+    }
+
+    any_mod!(
+        i8 => std::primitive::i8,
+        i16 => std::primitive::i16,
+        i32 => std::primitive::i32,
+        i64 => std::primitive::i64,
+        u8 => std::primitive::u8,
+        u16 => std::primitive::u16,
+        u32 => std::primitive::u32,
+        u64 => std::primitive::u64,
+    );
+}
+
+// ---- string patterns -------------------------------------------------------
+
+/// `&str` patterns support the subset `literal`, `[a-z0-9_]` classes, and
+/// `{m}` / `{m,n}` repetition of the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let span = (hi - lo).max(1) as u64;
+            let n = lo + (rng.next_u64() % span) as usize;
+            for _ in 0..n {
+                let idx = (rng.next_u64() % chars.len() as u64) as usize;
+                out.push(chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                assert!(!set.is_empty(), "empty character class in `{pat}`");
+                atoms.push((set, 1, 2));
+            }
+            '{' => {
+                let close = chars[i..].iter().position(|c| *c == '}').expect("unclosed {") + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                    None => {
+                        let n: usize = spec.trim().parse().unwrap();
+                        (n, n)
+                    }
+                };
+                let last = atoms.last_mut().expect("repetition without atom");
+                last.1 = lo;
+                last.2 = hi + 1;
+                i = close + 1;
+            }
+            c => {
+                atoms.push((vec![c], 1, 2));
+                i += 1;
+            }
+        }
+    }
+    atoms
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Declares property tests. Each function body runs once per drawn case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $p = $crate::Strategy::sample(&($s), __proptest_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts within a property; failure reports the case and message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a), stringify!($b), __a
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i64..5, f in -1.5f64..2.5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(xs in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            for x in xs { prop_assert!(x < 10); }
+        }
+
+        #[test]
+        fn string_pattern_shape(s in "[a-z]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_options(
+            (a, b) in (0u64..5, 0u16..3),
+            opt in crate::option::of(0u32..7),
+        ) {
+            prop_assert!(a < 5 && b < 3);
+            if let Some(v) = opt { prop_assert!(v < 7); }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::TestRng::from_name("x");
+        let mut r2 = crate::TestRng::from_name("x");
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the surface this workspace uses — `into_par_iter()` on ranges and
+//! vectors, `.enumerate()`, `.map(f)`, `.collect()` — with real parallelism:
+//! items are split into contiguous chunks executed on scoped OS threads
+//! (one per available core), and results are reassembled in order, so
+//! `collect()` is order-stable exactly like rayon's indexed collect.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+/// Conversion into a (materialized) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range {
+    ($($t:ty),+) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )+};
+}
+
+impl_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator over `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index (order-stable).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Maps each item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Collects the items themselves.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map across scoped threads and collects in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_vec(self.items, &self.f))
+    }
+}
+
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, remainder spread over the leading chunks.
+    let base = n / workers;
+    let extra = n % workers;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        chunks.push(it.by_ref().take(len).collect());
+    }
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..10_000).into_par_iter().map(|i| i * i).collect();
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let xs: Vec<usize> =
+            vec!["a", "bb", "ccc"].into_par_iter().enumerate().map(|(i, s)| i + s.len()).collect();
+        assert_eq!(xs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = (0u64..0).into_par_iter().map(|i| i).collect();
+        assert!(xs.is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! The serialization value tree and deserialization error type.
+
+use std::fmt;
+
+/// A self-describing serialized value.
+///
+/// Map keys are full `Value`s so maps keyed by structured types (e.g.
+/// `BTreeMap<FruRef, …>`) serialize; JSON renderers stringify non-string
+/// keys as embedded JSON text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+}
+
+/// Deserialization error: a human-readable path-free message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// `expected X, found Y`-style error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// A short name for the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Reads any integer shape as `u64`.
+    pub fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Ok(*f as u64)
+            }
+            other => Err(DeError::expected("unsigned integer", other)),
+        }
+    }
+
+    /// Reads any integer shape as `i64`.
+    pub fn as_i64(&self) -> Result<i64, DeError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => i64::try_from(*n).map_err(|_| DeError::new("integer overflows i64")),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Ok(*f as i64),
+            other => Err(DeError::expected("integer", other)),
+        }
+    }
+
+    /// Reads any numeric shape as `f64` (`null` decodes to NaN, matching the
+    /// encoder which writes non-finite floats as `null`).
+    pub fn as_f64(&self) -> Result<f64, DeError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+
+    /// Borrows the value as a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+
+    /// Borrows the value as a map (entry list).
+    pub fn as_map(&self) -> Result<&[(Value, Value)], DeError> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+
+    /// Borrows the value as a string slice.
+    pub fn as_str(&self) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+/// Looks up a struct field in a map value (derive-macro helper).
+pub fn field<'v>(entries: &'v [(Value, Value)], name: &str) -> Result<&'v Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Decodes a map key. JSON renderers stringify structured keys, so a key
+/// that fails to decode directly is retried as embedded JSON text.
+pub fn key_from_value<K: crate::Deserialize>(k: &Value) -> Result<K, DeError> {
+    match K::from_value(k) {
+        Ok(key) => Ok(key),
+        Err(direct_err) => {
+            if let Value::Str(s) = k {
+                if let Ok(parsed) = parse_embedded(s) {
+                    return K::from_value(&parsed);
+                }
+            }
+            Err(direct_err)
+        }
+    }
+}
+
+/// A minimal JSON reader for stringified map keys (kept here so `serde`
+/// has no dependency on `serde_json`). Full documents go through
+/// `serde_json`; this only ever sees single keys that crate produced.
+pub fn parse_embedded(s: &str) -> Result<Value, DeError> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError::new("trailing characters in embedded key"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::new(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, DeError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(DeError::new("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(DeError::new("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    entries.push((Value::Str(key), val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(DeError::new("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(DeError::new("unexpected character")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| DeError::new("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| DeError::new("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| DeError::new("bad unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(DeError::new("bad escape")),
+                    }
+                }
+                _ => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| DeError::new("invalid utf-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DeError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(DeError::new("short unicode escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| DeError::new("bad unicode escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(s, 16).map_err(|_| DeError::new("bad unicode escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::new("invalid number"))?;
+        if float {
+            text.parse::<f64>().map(Value::Float).map_err(|_| DeError::new("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Value::Int).map_err(|_| DeError::new("invalid number"))
+        } else {
+            text.parse::<u64>().map(Value::UInt).map_err(|_| DeError::new("invalid number"))
+        }
+    }
+}

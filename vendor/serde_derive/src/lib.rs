@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple, unit)
+//! and enums (unit / tuple / struct variants) without `#[serde(...)]`
+//! attributes — by walking the raw `TokenStream` (no `syn`/`quote`, which
+//! are unavailable offline) and emitting source text.
+//!
+//! Encoding matches the vendored `serde` value model: named structs become
+//! maps, newtype structs are transparent, tuple structs become sequences,
+//! and enums are externally tagged (serde's default).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    emit_serialize(&input).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    emit_deserialize(&input).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (`{name}`)");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum `{name}` has no body"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Advances past one type, tracking `<`/`>` nesting, stopping after the
+/// field-separating comma (or at end of stream).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and/or the separating comma.
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- emission --------------------------------------------------------------
+
+const V: &str = "::serde::value::Value";
+
+fn emit_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => format!("{V}::Null"),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{V}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({V}::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("{V}::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let tag = format!("{V}::Str(::std::string::String::from(\"{vn}\"))");
+                    match &v.kind {
+                        VariantKind::Unit => format!("{name}::{vn} => {tag},"),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => {V}::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {V}::Map(::std::vec![({tag}, \
+                                 {V}::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({V}::Str(::std::string::String::from(\"{f}\")), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {V}::Map(::std::vec![({tag}, \
+                                 {V}::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {V} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn emit_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => format!(
+            "match __v {{ {V}::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", __other)) }}"
+        ),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__seq.get({i}).ok_or_else(|| \
+                         ::serde::DeError::new(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __seq = __v.as_seq()?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::value::field(__m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map()?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__seq.get({i})\
+                                         .ok_or_else(|| ::serde::DeError::new(\
+                                         \"variant payload too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __seq = __payload.as_seq()?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::value::field(__m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __m = __payload.as_map()?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                                items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                   {V}::Str(__s) => match __s.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                   }},\n\
+                   {V}::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__entries[0];\n\
+                     let _ = __payload;\n\
+                     match __tag.as_str()? {{\n\
+                       {}\n\
+                       __other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"externally tagged enum\", __other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &{V}) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde` value
+//! tree as JSON and parses it back.
+//!
+//! Supported surface: [`to_string`], [`to_string_pretty`], [`from_str`].
+//! Floats are written with Rust's shortest round-trip formatting (`{:?}`),
+//! so `f64` values survive a text round-trip bit-exactly; non-finite floats
+//! become `null` (decoded back as NaN). Structured map keys (serde's
+//! `Value`-keyed maps) are embedded as JSON-encoded key strings.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// serde_json-style error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::value::parse_embedded(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => {
+            out.push_str(itoa_buf(&mut [0u8; 20], *n));
+        }
+        Value::Int(n) => {
+            if *n < 0 {
+                out.push('-');
+            }
+            out.push_str(itoa_buf(&mut [0u8; 20], n.unsigned_abs()));
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // {:?} is Rust's shortest round-trip representation and
+                // always includes a `.0`/exponent, keeping floats typed.
+                use fmt::Write;
+                let _ = write!(out, "{f:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_key(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// JSON object keys must be strings: string keys are written directly,
+/// structured keys as their compact JSON encoding inside a string.
+fn write_key(out: &mut String, k: &Value) {
+    match k {
+        Value::Str(s) => write_string(out, s),
+        other => {
+            let mut inner = String::new();
+            write_value(&mut inner, other, None, 0);
+            write_string(out, &inner);
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn itoa_buf(buf: &mut [u8; 20], mut n: u64) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1_f64, 1.0 / 3.0, 1e-300, 123456.75, f64::MAX] {
+            let text = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&text).unwrap(), x, "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}".to_string();
+        let text = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut m: BTreeMap<String, Vec<Option<u32>>> = BTreeMap::new();
+        m.insert("xs".into(), vec![Some(1), None, Some(3)]);
+        let text = to_string_pretty(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<String, Vec<Option<u32>>>>(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn structured_map_keys_embed_as_json() {
+        let mut m: BTreeMap<(u8, u8), u64> = BTreeMap::new();
+        m.insert((1, 2), 3);
+        m.insert((4, 5), 6);
+        let text = to_string(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<(u8, u8), u64>>(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn numeric_string_keys_stay_strings() {
+        let mut m: BTreeMap<String, u64> = BTreeMap::new();
+        m.insert("12".into(), 1);
+        let text = to_string(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<String, u64>>(&text).unwrap(), m);
+    }
+}

@@ -1,0 +1,204 @@
+//! The ONA pattern catalog: which fault pattern indicates which taxonomy
+//! class, in which of the time/value/space dimensions, and under which
+//! parameter settings it can fire at all.
+//!
+//! §V-A defines an ONA as a predicate over the distributed state in the
+//! value, time and space domains; Fig. 8 maps patterns to fault classes.
+//! The diagnostic argument of the paper implicitly assumes *coverage*:
+//! every class of the maintenance-oriented taxonomy (Fig. 6) must manifest
+//! in at least one detectable pattern, otherwise faults of that class are
+//! structurally invisible to the architecture. This module makes that
+//! assumption checkable.
+
+use decos_diagnosis::OnaParams;
+use decos_faults::FaultClass;
+
+/// An ONA dimension (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimension {
+    /// Temporal signature (burst, recurring, increasing frequency).
+    Time,
+    /// Value signature (corruption, drift, omission content).
+    Value,
+    /// Spatial signature (proximity zone, single stub, co-hosting).
+    Space,
+}
+
+impl core::fmt::Display for Dimension {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Dimension::Time => "time",
+            Dimension::Value => "value",
+            Dimension::Space => "space",
+        })
+    }
+}
+
+/// One pattern of the ONA bank, as the analyzer models it.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternInfo {
+    /// Stable pattern name (matches `PatternMatch::pattern`).
+    pub name: &'static str,
+    /// The fault class the pattern indicates (Fig. 8).
+    pub class: FaultClass,
+    /// Dimensions the predicate quantifies over.
+    pub dims: &'static [Dimension],
+}
+
+use Dimension::{Space, Time, Value};
+
+/// Every pattern the ONA bank implements, in Fig. 8 order.
+pub const PATTERN_CATALOG: &[PatternInfo] = &[
+    PatternInfo {
+        name: "massive-transient",
+        class: FaultClass::ComponentExternal,
+        dims: &[Time, Value, Space],
+    },
+    PatternInfo { name: "isolated-transient", class: FaultClass::ComponentExternal, dims: &[Time] },
+    PatternInfo { name: "connector", class: FaultClass::ComponentBorderline, dims: &[Time, Space] },
+    PatternInfo {
+        name: "recurring-internal",
+        class: FaultClass::ComponentInternal,
+        dims: &[Time, Space],
+    },
+    PatternInfo { name: "wearout", class: FaultClass::ComponentInternal, dims: &[Time, Value] },
+    PatternInfo { name: "oscillator", class: FaultClass::ComponentInternal, dims: &[Time] },
+    PatternInfo {
+        name: "cohost-correlation",
+        class: FaultClass::ComponentInternal,
+        dims: &[Space, Value],
+    },
+    PatternInfo { name: "configuration", class: FaultClass::JobBorderline, dims: &[Value] },
+    PatternInfo {
+        name: "software-design",
+        class: FaultClass::JobInherentSoftware,
+        dims: &[Value, Time],
+    },
+    PatternInfo {
+        name: "transducer-stuck",
+        class: FaultClass::JobInherentTransducer,
+        dims: &[Value],
+    },
+    PatternInfo {
+        name: "transducer-drift",
+        class: FaultClass::JobInherentTransducer,
+        dims: &[Value],
+    },
+    PatternInfo {
+        name: "transducer-dead",
+        class: FaultClass::JobInherentTransducer,
+        dims: &[Value],
+    },
+];
+
+/// Why a pattern cannot fire under `ona` within `rounds` (0 = unbounded),
+/// or `None` if it can.
+#[must_use]
+pub fn unavailability(p: &PatternInfo, ona: &OnaParams, rounds: u64) -> Option<String> {
+    let horizon = |needed: u64, what: &str| -> Option<String> {
+        if rounds > 0 && needed > rounds {
+            Some(format!("{what} needs {needed} rounds but the horizon is {rounds}"))
+        } else {
+            None
+        }
+    };
+    let alpha_ok = ona.alpha.decay > 0.0
+        && ona.alpha.decay <= 1.0
+        && ona.alpha.threshold.is_finite()
+        && ona.alpha.threshold > 0.0;
+    match p.name {
+        "massive-transient" => {
+            if !ona.enable_spatial {
+                Some("the spatial ONA is disabled (enable_spatial = false)".into())
+            } else if !(ona.zone_radius_m.is_finite() && ona.zone_radius_m > 0.0) {
+                Some(format!("zone radius {} m is not a positive finite number", ona.zone_radius_m))
+            } else {
+                None
+            }
+        }
+        "isolated-transient" => None,
+        "connector" => None,
+        "recurring-internal" => {
+            if alpha_ok {
+                horizon(ona.judgement_rounds as u64, "one judgement interval")
+            } else {
+                Some(format!(
+                    "alpha-count parameters (decay {}, threshold {}) cannot cross the threshold",
+                    ona.alpha.decay, ona.alpha.threshold
+                ))
+            }
+        }
+        "wearout" => {
+            if ona.wearout_slope_min.is_finite() {
+                horizon(
+                    (ona.wearout_min_windows as u64).saturating_mul(ona.judgement_rounds as u64),
+                    "the wearout trend",
+                )
+            } else {
+                Some("the minimum wearout slope is not finite".into())
+            }
+        }
+        "oscillator" => None,
+        "cohost-correlation" => {
+            if ona.enable_cohost {
+                None
+            } else {
+                Some("the co-host correlation ONA is disabled (enable_cohost = false)".into())
+            }
+        }
+        "configuration" => horizon(ona.overflow_min_windows, "the overflow evidence"),
+        "software-design" => horizon(ona.job_min_events, "the job symptom evidence"),
+        "transducer-stuck" => {
+            if ona.stuck_duty > 0.0 && ona.stuck_duty <= 1.0 {
+                horizon(ona.job_min_events, "the job symptom evidence")
+            } else {
+                Some(format!("stuck duty {} is outside (0, 1]", ona.stuck_duty))
+            }
+        }
+        "transducer-drift" | "transducer-dead" => {
+            horizon(ona.job_min_events, "the job symptom evidence")
+        }
+        other => Some(format!("unknown pattern {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_class_by_default() {
+        let ona = OnaParams::default();
+        for class in FaultClass::ALL {
+            let covered = PATTERN_CATALOG
+                .iter()
+                .any(|p| p.class == class && unavailability(p, &ona, 0).is_none());
+            assert!(covered, "{class} uncovered under default parameters");
+        }
+    }
+
+    #[test]
+    fn disabling_spatial_removes_only_massive_transient() {
+        let ona = OnaParams { enable_spatial: false, ..OnaParams::default() };
+        let mt = PATTERN_CATALOG.iter().find(|p| p.name == "massive-transient").unwrap();
+        assert!(unavailability(mt, &ona, 0).is_some());
+        // The class stays covered through the isolated-transient pattern.
+        let it = PATTERN_CATALOG.iter().find(|p| p.name == "isolated-transient").unwrap();
+        assert!(unavailability(it, &ona, 0).is_none());
+    }
+
+    #[test]
+    fn short_horizon_starves_evidence_thresholds() {
+        let ona = OnaParams::default();
+        let cfgp = PATTERN_CATALOG.iter().find(|p| p.name == "configuration").unwrap();
+        assert!(unavailability(cfgp, &ona, 2).is_some(), "5 overflow windows need > 2 rounds");
+        assert!(unavailability(cfgp, &ona, 100).is_none());
+    }
+
+    #[test]
+    fn every_pattern_names_at_least_one_dimension() {
+        for p in PATTERN_CATALOG {
+            assert!(!p.dims.is_empty(), "{} has no dimension", p.name);
+        }
+    }
+}

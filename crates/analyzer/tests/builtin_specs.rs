@@ -1,0 +1,161 @@
+//! Self-check: every spec this repository ships — the Fig. 10 reference
+//! cluster, the avionics cluster, and the campaign variants the examples
+//! drive — must analyze without error-severity diagnostics; seeded
+//! mutations must each produce their specific diagnostic code.
+
+use decos::prelude::*;
+use decos_analyzer::{analyze, DiagCode, ExperimentSpec, ScheduleSpec, Severity};
+use decos_platform::{avionics, fig10, NodeId};
+
+/// The horizon the examples and the fleet default use.
+const ROUNDS: u64 = 4000;
+
+fn assert_clean(name: &str, exp: &ExperimentSpec<'_>) {
+    let report = analyze(exp);
+    assert!(!report.has_errors(), "{name} should have no errors:\n{report}");
+}
+
+#[test]
+fn fig10_reference_is_spotless() {
+    let spec = fig10::reference_spec();
+    let mut exp = ExperimentSpec::new(&spec);
+    exp.rounds = ROUNDS;
+    let report = analyze(&exp);
+    assert!(!report.has_errors(), "{report}");
+    assert_eq!(report.count_severity(Severity::Warning), 0, "{report}");
+}
+
+#[test]
+fn avionics_has_no_errors() {
+    let spec = avionics::avionics_spec();
+    let mut exp = ExperimentSpec::new(&spec);
+    exp.rounds = ROUNDS;
+    let report = analyze(&exp);
+    assert!(!report.has_errors(), "{report}");
+    // The F1/F2/F3 replicas sit on adjacent forward LRMs — the analyzer is
+    // expected to flag the tight spatial grouping, as a warning only.
+    assert!(report.contains(DiagCode::TmrTriadSpatiallyClose), "{report}");
+}
+
+#[test]
+fn example_campaigns_have_no_errors() {
+    use decos::faults::campaign;
+    let spec = fig10::reference_spec();
+    let cases: Vec<(&str, Vec<FaultSpec>)> = vec![
+        ("external", campaign::external_environment(&spec, 2000.0)),
+        ("connector", campaign::connector_campaign(NodeId(2), 2000.0)),
+        ("wearout", campaign::wearout_campaign(NodeId(1), 500.0, 100_000.0)),
+        ("internal", campaign::internal_degradation_campaign(NodeId(2))),
+        ("software", campaign::software_campaign(fig10::jobs::A3, true)),
+        (
+            "sensor",
+            campaign::sensor_campaign(fig10::jobs::A1, FaultKind::SensorStuck { value: 0.4 }),
+        ),
+    ];
+    for (name, faults) in &cases {
+        assert_clean(name, &ExperimentSpec::with_campaign(&spec, faults, 10.0, ROUNDS));
+    }
+}
+
+#[test]
+fn deliberate_misconfiguration_warns_but_runs() {
+    let (spec, faults) =
+        decos::faults::campaign::misconfiguration_campaign(fig10::reference_spec(), 4);
+    let report = analyze(&ExperimentSpec::with_campaign(&spec, &faults, 10.0, ROUNDS));
+    assert!(!report.has_errors(), "deliberate defects must not be errors:\n{report}");
+    // ... and the ground-truth fault is consistent with the defect, so the
+    // missing-defect warning must NOT fire.
+    assert!(!report.contains(DiagCode::MisconfigTruthWithoutDefect), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutations: each must fire its specific code.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mutation_shared_fru_triad_fires_da010() {
+    let mut spec = fig10::reference_spec();
+    // Move replica S2 onto S1's component: two replicas on one FRU.
+    spec.jobs.iter_mut().find(|j| j.id == fig10::jobs::S2).unwrap().host = NodeId(0);
+    let report = analyze(&ExperimentSpec::new(&spec));
+    assert!(report.contains(DiagCode::TmrTriadSharedFru), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn mutation_starved_pattern_fires_da020() {
+    let spec = fig10::reference_spec();
+    let mut exp = ExperimentSpec::new(&spec);
+    // The configuration pattern needs overflow_min_windows rounds of
+    // evidence; an impossible threshold starves the JobBorderline class.
+    exp.ona.overflow_min_windows = u64::MAX;
+    exp.rounds = ROUNDS;
+    let report = analyze(&exp);
+    assert!(report.contains(DiagCode::UncoveredFaultClass), "{report}");
+    assert!(report.contains(DiagCode::OnaPatternUnavailable), "{report}");
+}
+
+#[test]
+fn mutation_double_booked_slot_fires_da001() {
+    let spec = fig10::reference_spec();
+    let mut exp = ExperimentSpec::new(&spec);
+    let mut sched = ScheduleSpec::derived(&spec);
+    // Claim slot 0 for component 1 as well: two owners, one slot.
+    sched.claims.push((0, NodeId(1)));
+    exp.schedule = sched;
+    let report = analyze(&exp);
+    assert!(report.contains(DiagCode::SlotCollision), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn mutation_unknown_target_fires_da040() {
+    let spec = fig10::reference_spec();
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::CosmicRaySeu { rate_per_hour: 50.0 },
+        target: FruRef::Component(NodeId(17)),
+        onset: decos::sim::SimTime::ZERO,
+    }];
+    let report = analyze(&ExperimentSpec::with_campaign(&spec, &faults, 1.0, ROUNDS));
+    assert!(report.contains(DiagCode::UnknownFaultTarget), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn mutation_onset_beyond_horizon_fires_da041() {
+    let spec = fig10::reference_spec();
+    let faults = vec![FaultSpec {
+        id: 1,
+        kind: FaultKind::SensorDead,
+        target: FruRef::Job(fig10::jobs::A1),
+        onset: decos::sim::SimTime::from_secs(3600),
+    }];
+    // 4000 rounds x 4 ms = 16 s << the one-hour onset.
+    let report = analyze(&ExperimentSpec::with_campaign(&spec, &faults, 1.0, ROUNDS));
+    assert!(report.contains(DiagCode::OnsetBeyondHorizon), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn runner_refuses_what_the_analyzer_rejects() {
+    // The same broken campaign through the public entry point: the run
+    // must not start, and the full report must come back.
+    let c = Campaign::reference(
+        vec![FaultSpec {
+            id: 1,
+            kind: FaultKind::CosmicRaySeu { rate_per_hour: 50.0 },
+            target: FruRef::Component(NodeId(17)),
+            onset: decos::sim::SimTime::ZERO,
+        }],
+        1.0,
+        100,
+        3,
+    );
+    match run_campaign(&c) {
+        Err(CampaignError::Rejected(report)) => {
+            assert!(report.contains(DiagCode::UnknownFaultTarget), "{report}");
+        }
+        other => panic!("expected analyzer rejection, got {other:?}"),
+    }
+}

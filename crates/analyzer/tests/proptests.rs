@@ -1,0 +1,132 @@
+//! Properties of the analyzer contract:
+//!
+//! 1. randomly parameterized *valid* experiments analyze without errors;
+//! 2. random single-field corruptions are either caught by the analyzer or
+//!    the experiment still simulates deterministically — the runner never
+//!    panics on an analyzer-clean input.
+
+use decos::prelude::*;
+use decos_analyzer::{analyze, ExperimentSpec};
+use decos_platform::{fig10, NodeId};
+use decos_sim::time::SimTime;
+use proptest::prelude::*;
+
+/// A structurally valid single-fault campaign over the reference cluster.
+fn valid_campaign(
+    kind_sel: u8,
+    node: u16,
+    rate: f64,
+    accel: f64,
+    rounds: u64,
+    seed: u64,
+) -> Campaign {
+    let node = NodeId(node % 4);
+    let job = [fig10::jobs::A1, fig10::jobs::A3, fig10::jobs::C1][(kind_sel % 3) as usize];
+    let kind_sel = kind_sel % 5;
+    let fault = match kind_sel {
+        0 => FaultSpec {
+            id: 1,
+            kind: FaultKind::ConnectorIntermittent { rate_per_hour: rate, duration_ms: 5.0 },
+            target: FruRef::Component(node),
+            onset: SimTime::ZERO,
+        },
+        1 => FaultSpec {
+            id: 1,
+            kind: FaultKind::CosmicRaySeu { rate_per_hour: rate },
+            target: FruRef::Component(node),
+            onset: SimTime::ZERO,
+        },
+        2 => FaultSpec {
+            id: 1,
+            kind: FaultKind::SolderJointCrack {
+                base_rate_per_hour: rate,
+                growth_per_hour: rate * 10.0,
+                duration_ms: 4.0,
+            },
+            target: FruRef::Component(node),
+            onset: SimTime::ZERO,
+        },
+        3 => FaultSpec {
+            id: 1,
+            kind: FaultKind::SensorStuck { value: 0.3 },
+            target: FruRef::Job(job),
+            onset: SimTime::ZERO,
+        },
+        _ => FaultSpec {
+            id: 1,
+            kind: FaultKind::Heisenbug { prob_per_dispatch: 0.05, drop: true, wrong_value: 0.9 },
+            target: FruRef::Job(job),
+            onset: SimTime::ZERO,
+        },
+    };
+    Campaign::reference(vec![fault], accel, rounds, seed)
+}
+
+proptest! {
+    #[test]
+    fn valid_experiments_analyze_clean(
+        kind_sel in 0u8..5,
+        node in 0u16..4,
+        rate in 10.0f64..3000.0,
+        accel in 1.0f64..50.0,
+        rounds in 300u64..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        let c = valid_campaign(kind_sel, node, rate, accel, rounds, seed);
+        let exp = ExperimentSpec::with_campaign(&c.spec, &c.faults, c.accel, c.rounds);
+        let report = analyze(&exp);
+        prop_assert!(!report.has_errors(), "valid experiment rejected:\n{report}");
+    }
+
+    #[test]
+    fn corruptions_are_caught_or_simulate(
+        kind_sel in 0u8..5,
+        node in 0u16..4,
+        rate in 10.0f64..3000.0,
+        seed in 0u64..1_000_000,
+        corruption in 0u8..7,
+    ) {
+        // Small horizon: this property runs the full simulator whenever the
+        // corrupted experiment still passes the analyzer.
+        let mut c = valid_campaign(kind_sel, node, rate, 10.0, 150, seed);
+        match corruption {
+            // Fault aimed at a component outside the cluster.
+            0 => c.faults[0].target = FruRef::Component(NodeId(99)),
+            // Onset far beyond the horizon.
+            1 => c.faults[0].onset = SimTime::from_secs(86_400),
+            // Non-finite acceleration.
+            2 => c.accel = f64::NAN,
+            // Negative acceleration.
+            3 => c.accel = -4.0,
+            // A job moved onto a component that does not exist.
+            4 => c.spec.jobs[0].host = NodeId(40),
+            // Duplicate fault id.
+            5 => {
+                let mut f = c.faults[0].clone();
+                f.onset = SimTime::from_millis(50);
+                c.faults.push(f);
+            }
+            // No corruption at all: the control arm.
+            _ => {}
+        }
+        match run_campaign(&c) {
+            // Analyzer-clean input: the runner must have finished without
+            // panicking, and deterministically so.
+            Ok(out) => {
+                let again = run_campaign(&c);
+                prop_assert!(again.is_ok());
+                let again = again.unwrap();
+                prop_assert_eq!(out.report, again.report);
+                prop_assert_eq!(out.episodes, again.episodes);
+            }
+            // Caught: the rejection must actually carry error findings.
+            Err(CampaignError::Rejected(report)) => {
+                prop_assert!(report.has_errors(), "rejected without errors:\n{report}");
+                prop_assert!(corruption < 6, "control arm must not be rejected:\n{report}");
+            }
+            Err(CampaignError::Spec(e)) => {
+                prop_assert!(corruption == 4, "unexpected spec error {e:?}");
+            }
+        }
+    }
+}

@@ -141,7 +141,7 @@ pub fn e2_taxonomy(effort: Effort) -> E2Taxonomy {
         accel: 10.0,
         seed: 2005,
     };
-    let out = run_fleet(&fig10::reference_spec(), cfg);
+    let out = run_fleet(&fig10::reference_spec(), cfg).expect("reference spec analyzes clean");
     E2Taxonomy {
         vehicles: cfg.vehicles,
         accuracy: out.confusion.accuracy(),
@@ -815,7 +815,7 @@ pub fn e9_actions(effort: Effort) -> E9Actions {
         accel: 10.0,
         seed: 808,
     };
-    let out = run_fleet(&fig10::reference_spec(), cfg);
+    let out = run_fleet(&fig10::reference_spec(), cfg).expect("reference spec analyzes clean");
     let mut per_class: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     for v in &out.vehicles {
         let e = per_class.entry(v.truth_class.to_string()).or_insert((0, 0));
@@ -1071,7 +1071,8 @@ pub fn e12_ablation(effort: Effort) -> E12Ablation {
     let rows = configs
         .into_iter()
         .map(|(label, params)| {
-            let out = decos::fleet::run_fleet_with_params(&spec, cfg, params);
+            let out = decos::fleet::run_fleet_with_params(&spec, cfg, params)
+                .expect("ablation spec analyzes clean");
             AblationRow {
                 config: label,
                 accuracy: out.confusion.accuracy(),

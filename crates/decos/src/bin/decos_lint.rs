@@ -1,0 +1,80 @@
+//! `decos-lint` — static model checking of cluster specifications.
+//!
+//! Runs the `decos-analyzer` pass over the built-in clusters (or a chosen
+//! one) and pretty-prints the findings. Exits nonzero when any diagnostic
+//! has error severity, so CI can gate on model validity.
+//!
+//! ```text
+//! decos-lint [--json] [--rounds N] [fig10|avionics|all]
+//! ```
+
+use decos::analyzer::{analyze, AnalysisReport, ExperimentSpec};
+use decos::platform::{avionics, fig10, ClusterSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: decos-lint [--json] [--rounds N] [fig10|avionics|all]";
+
+fn lint(name: &str, spec: &ClusterSpec, rounds: u64) -> AnalysisReport {
+    let mut exp = ExperimentSpec::new(spec);
+    exp.rounds = rounds;
+    let report = analyze(&exp);
+    eprintln!("== {name}: {} ==", report.summary());
+    report
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut rounds: u64 = 4000;
+    let mut target = String::from("all");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--rounds" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => rounds = n,
+                None => {
+                    eprintln!("--rounds needs an integer argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "fig10" | "avionics" | "all" => target = a,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
+    if target == "fig10" || target == "all" {
+        reports.push(("fig10".into(), lint("fig10", &fig10::reference_spec(), rounds)));
+    }
+    if target == "avionics" || target == "all" {
+        reports.push(("avionics".into(), lint("avionics", &avionics::avionics_spec(), rounds)));
+    }
+
+    let mut failed = false;
+    for (name, report) in &reports {
+        if json {
+            match serde_json::to_string_pretty(report) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    eprintln!("serializing the {name} report failed: {e:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            println!("# {name}\n{report}\n");
+        }
+        failed |= report.has_errors();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -10,7 +10,8 @@
 //! each runs its own deterministic single-threaded simulation with a
 //! derived seed; aggregation is a rayon `map`/`reduce`.
 
-use crate::runner::{run_campaign_with_params, Campaign};
+use crate::runner::{run_campaign_with_params, Campaign, CampaignError};
+use decos_analyzer::{analyze, ExperimentSpec};
 use decos_diagnosis::EngineParams;
 use decos_diagnosis::{score_case, ActionScore, ConfusionMatrix};
 use decos_faults::{FaultClass, FruRef, MaintenanceAction};
@@ -70,7 +71,7 @@ pub struct FleetOutcome {
 }
 
 /// Runs a fleet and aggregates.
-pub fn run_fleet(spec: &ClusterSpec, cfg: FleetConfig) -> FleetOutcome {
+pub fn run_fleet(spec: &ClusterSpec, cfg: FleetConfig) -> Result<FleetOutcome, CampaignError> {
     run_fleet_with_params(spec, cfg, EngineParams::default())
 }
 
@@ -79,7 +80,16 @@ pub fn run_fleet_with_params(
     spec: &ClusterSpec,
     cfg: FleetConfig,
     params: EngineParams,
-) -> FleetOutcome {
+) -> Result<FleetOutcome, CampaignError> {
+    // Pre-flight: the base vehicle (before per-vehicle fault sampling)
+    // must analyze clean, otherwise every vehicle would fail identically.
+    let mut base = ExperimentSpec::with_campaign(spec, &[], cfg.accel, cfg.rounds);
+    base.ona = params.ona;
+    base.trust = params.trust;
+    let report = analyze(&base);
+    if report.has_errors() {
+        return Err(CampaignError::Rejected(report));
+    }
     let seeds = SeedSource::new(cfg.seed);
     let vehicles: Vec<VehicleOutcome> = (0..cfg.vehicles)
         .into_par_iter()
@@ -96,7 +106,7 @@ pub fn run_fleet_with_params(
         obd.merge(&o.obd);
         *class_counts.entry(o.truth_class.to_string()).or_insert(0) += 1;
     }
-    FleetOutcome { vehicles, confusion, decos, obd, class_counts }
+    Ok(FleetOutcome { vehicles, confusion, decos, obd, class_counts })
 }
 
 fn run_vehicle(
@@ -116,8 +126,8 @@ fn run_vehicle(
         rounds: cfg.rounds,
         seed: seeds.child(index).master(),
     };
-    let out =
-        run_campaign_with_params(&campaign, params, |_, _, _| {}).expect("sampled spec is valid");
+    let out = run_campaign_with_params(&campaign, params, |_, _, _| {})
+        .expect("sampled campaign passes the pre-flight analysis");
 
     let decos_actions = out.report.actions();
     let decos_class = out.report.verdict_of(truth_fru).and_then(|v| v.class);
@@ -145,7 +155,7 @@ mod tests {
     #[test]
     fn small_fleet_aggregates() {
         let cfg = FleetConfig { vehicles: 8, rounds: 1200, accel: 10.0, seed: 77 };
-        let out = run_fleet(&fig10::reference_spec(), cfg);
+        let out = run_fleet(&fig10::reference_spec(), cfg).unwrap();
         assert_eq!(out.vehicles.len(), 8);
         assert_eq!(out.decos.cases, 8);
         assert_eq!(out.obd.cases, 8);
@@ -156,8 +166,8 @@ mod tests {
     #[test]
     fn fleet_is_deterministic_despite_parallelism() {
         let cfg = FleetConfig { vehicles: 6, rounds: 800, accel: 10.0, seed: 5 };
-        let a = run_fleet(&fig10::reference_spec(), cfg);
-        let b = run_fleet(&fig10::reference_spec(), cfg);
+        let a = run_fleet(&fig10::reference_spec(), cfg).unwrap();
+        let b = run_fleet(&fig10::reference_spec(), cfg).unwrap();
         for (x, y) in a.vehicles.iter().zip(&b.vehicles) {
             assert_eq!(x.truth_class, y.truth_class);
             assert_eq!(x.decos_class, y.decos_class);

@@ -15,6 +15,10 @@
 //! * [`reliability`] — FIT rates, Weibull/bathtub models, α-count;
 //! * [`diagnosis`] — symptoms, ONAs, trust levels, maintenance advice, and
 //!   the OBD baseline;
+//! * [`analyzer`] — static model checking of experiment specifications
+//!   (every `run_campaign*` entry point refuses experiments with
+//!   error-severity diagnostics; `decos-lint` exposes the same pass on the
+//!   command line);
 //! * [`runner`] / [`fleet`] — campaign and rayon-parallel fleet drivers;
 //! * [`workshop`] — the closed maintenance loop (§V): actions mutate the
 //!   fault set; repeat-visit and NFF economics fall out.
@@ -39,6 +43,7 @@
 //! assert!(verdict.trust < 1.0);
 //! ```
 
+pub use decos_analyzer as analyzer;
 pub use decos_diagnosis as diagnosis;
 pub use decos_faults as faults;
 pub use decos_platform as platform;
@@ -57,9 +62,10 @@ pub mod prelude {
     pub use crate::fleet::{run_fleet, run_fleet_with_params, FleetConfig, FleetOutcome};
     pub use crate::runner::{
         run_campaign, run_campaign_observed, run_campaign_with, run_campaign_with_params,
-        trust_trajectories, Campaign, CampaignOutcome, TrustSeries,
+        trust_trajectories, Campaign, CampaignError, CampaignOutcome, TrustSeries,
     };
     pub use crate::workshop::{service_loop, CostModel, ServiceHistory, ServiceVisit, Strategy};
+    pub use decos_analyzer::{analyze, AnalysisReport, DiagCode, ExperimentSpec, Severity};
     pub use decos_diagnosis::{
         DiagnosticEngine, DiagnosticReport, EngineParams, FruVerdict, ObdDiagnosis, ObdParams,
         ObdReport,

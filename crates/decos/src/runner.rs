@@ -6,6 +6,7 @@
 //! observing the same slot records, so every experiment compares like for
 //! like.
 
+use decos_analyzer::{analyze, AnalysisReport, ExperimentSpec};
 use decos_diagnosis::{
     DiagnosticEngine, DiagnosticReport, DisseminationStats, EngineParams, ObdDiagnosis, ObdParams,
     ObdReport,
@@ -14,6 +15,35 @@ use decos_faults::{FaultEnvironment, FaultSpec, FruRef};
 use decos_platform::{ClusterSim, ClusterSpec, SlotObserver, SlotRecord, SpecError};
 use decos_sim::rng::SeedSource;
 use serde::{Deserialize, Serialize};
+
+/// Why a campaign refused to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The cluster specification is structurally broken.
+    Spec(SpecError),
+    /// The static analyzer found error-severity diagnostics; the full
+    /// report (errors, warnings and notes) is attached.
+    Rejected(AnalysisReport),
+}
+
+impl core::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CampaignError::Spec(e) => write!(f, "invalid cluster specification: {e:?}"),
+            CampaignError::Rejected(report) => {
+                write!(f, "experiment rejected by static analysis:\n{report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SpecError> for CampaignError {
+    fn from(e: SpecError) -> Self {
+        CampaignError::Spec(e)
+    }
+}
 
 /// A complete scenario description.
 #[derive(Debug, Clone)]
@@ -36,6 +66,19 @@ impl Campaign {
     pub fn reference(faults: Vec<FaultSpec>, accel: f64, rounds: u64, seed: u64) -> Self {
         Campaign { spec: decos_platform::fig10::reference_spec(), faults, accel, rounds, seed }
     }
+
+    /// Statically analyzes this campaign under the given engine parameters.
+    ///
+    /// Every `run_campaign*` entry point calls this and refuses to simulate
+    /// when the report carries error-severity diagnostics; call it directly
+    /// to inspect warnings and notes of a runnable experiment.
+    pub fn analyze(&self, params: &EngineParams) -> AnalysisReport {
+        let mut exp =
+            ExperimentSpec::with_campaign(&self.spec, &self.faults, self.accel, self.rounds);
+        exp.ona = params.ona;
+        exp.trust = params.trust;
+        analyze(&exp)
+    }
 }
 
 /// Everything a campaign produces.
@@ -56,7 +99,7 @@ pub struct CampaignOutcome {
 }
 
 /// Runs a campaign.
-pub fn run_campaign(c: &Campaign) -> Result<CampaignOutcome, SpecError> {
+pub fn run_campaign(c: &Campaign) -> Result<CampaignOutcome, CampaignError> {
     run_campaign_with(c, |_, _, _| {})
 }
 
@@ -66,7 +109,7 @@ pub fn run_campaign(c: &Campaign) -> Result<CampaignOutcome, SpecError> {
 pub fn run_campaign_with(
     c: &Campaign,
     observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
-) -> Result<CampaignOutcome, SpecError> {
+) -> Result<CampaignOutcome, CampaignError> {
     run_campaign_with_params(c, EngineParams::default(), observe)
 }
 
@@ -75,7 +118,7 @@ pub fn run_campaign_with_params(
     c: &Campaign,
     params: EngineParams,
     observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
-) -> Result<CampaignOutcome, SpecError> {
+) -> Result<CampaignOutcome, CampaignError> {
     run_campaign_observed(c, params, &mut [], observe)
 }
 
@@ -90,7 +133,13 @@ pub fn run_campaign_observed(
     params: EngineParams,
     extras: &mut [&mut dyn SlotObserver],
     mut observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
-) -> Result<CampaignOutcome, SpecError> {
+) -> Result<CampaignOutcome, CampaignError> {
+    // Static model check first: refuse to simulate an experiment whose
+    // outcome would be structurally meaningless (or would crash mid-run).
+    let analysis = c.analyze(&params);
+    if analysis.has_errors() {
+        return Err(CampaignError::Rejected(analysis));
+    }
     let mut sim = ClusterSim::new(c.spec.clone(), c.seed)?;
     let mut env = FaultEnvironment::for_cluster(
         c.faults.clone(),
@@ -101,11 +150,34 @@ pub fn run_campaign_observed(
     let mut engine = DiagnosticEngine::new(&sim, params);
     let mut obd = ObdDiagnosis::new(&sim, ObdParams::default());
 
+    // Runtime mirrors of the statically checked invariants (debug builds
+    // only): the records the observers consume must agree with the model
+    // the analyzer approved.
+    #[cfg(debug_assertions)]
+    let deployed_ids: Vec<decos_vnet::VnetId> =
+        c.spec.deployed_vnets().iter().map(|v| v.id).collect();
+    let n_components = c.spec.n_components();
+
     let spr = sim.schedule().slots_per_round();
     let slots = c.rounds * spr as u64;
     let mut rec = SlotRecord::empty();
     for _ in 0..slots {
         sim.step_slot_into(&mut env, &mut rec);
+        debug_assert_eq!(
+            rec.observations.len(),
+            n_components,
+            "slot record must carry one observation per component"
+        );
+        debug_assert_eq!(
+            rec.owner,
+            sim.schedule().owner(rec.addr.slot),
+            "slot ownership must follow the analyzed TDMA table"
+        );
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            rec.sent.iter().all(|(v, _)| deployed_ids.contains(v)),
+            "transmitted segments must belong to deployed vnets"
+        );
         engine.on_slot(&sim, &rec);
         obd.on_slot(&sim, &rec);
         for ex in extras.iter_mut() {
@@ -140,7 +212,7 @@ pub fn trust_trajectories(
     c: &Campaign,
     frus: &[FruRef],
     every_rounds: u64,
-) -> Result<TrustSeries, SpecError> {
+) -> Result<TrustSeries, CampaignError> {
     let mut series: TrustSeries = frus.iter().map(|f| (*f, Vec::new())).collect();
     run_campaign_with(c, |sim, engine, rec| {
         // Sample on the last slot of every `every_rounds`-th round. The
@@ -190,6 +262,34 @@ mod tests {
         assert_eq!(a.report, b.report);
         assert_eq!(a.obd, b.obd);
         assert_eq!(a.episodes, b.episodes);
+    }
+
+    #[test]
+    fn analyzer_gate_refuses_broken_campaigns() {
+        use decos_analyzer::DiagCode;
+        use decos_faults::FaultKind;
+        use decos_sim::time::SimTime;
+        // A fault aimed at a component that does not exist would panic the
+        // fault environment mid-run; the gate must reject it up front with
+        // the full analysis attached.
+        let c = Campaign::reference(
+            vec![decos_faults::FaultSpec {
+                id: 1,
+                kind: FaultKind::CosmicRaySeu { rate_per_hour: 100.0 },
+                target: FruRef::Component(NodeId(99)),
+                onset: SimTime::ZERO,
+            }],
+            1.0,
+            100,
+            7,
+        );
+        match run_campaign(&c) {
+            Err(CampaignError::Rejected(report)) => {
+                assert!(report.contains(DiagCode::UnknownFaultTarget), "{report}");
+                assert!(report.has_errors());
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
     }
 
     #[test]

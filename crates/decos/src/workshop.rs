@@ -16,7 +16,7 @@
 
 use crate::runner::{run_campaign, Campaign};
 use decos_faults::{FaultClass, FaultKind, FaultSpec, FruRef, MaintenanceAction};
-use decos_platform::{ClusterSpec, SpecError};
+use decos_platform::ClusterSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which diagnosis drives the workshop.
@@ -163,7 +163,7 @@ pub fn service_loop(
     rounds_per_visit: u64,
     seed: u64,
     max_visits: u32,
-) -> Result<ServiceHistory, SpecError> {
+) -> Result<ServiceHistory, crate::runner::CampaignError> {
     let mut history = ServiceHistory {
         strategy,
         visits: Vec::new(),

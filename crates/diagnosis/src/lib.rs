@@ -39,4 +39,4 @@ pub use metrics::{score_case, ActionScore, ConfusionMatrix, REMOVAL_COST_USD};
 pub use patterns::{OnaBank, OnaParams, PatternMatch};
 pub use state::{DistributedState, PairMatrix};
 pub use symptom::{QueueSide, Subject, Symptom, SymptomKind};
-pub use trust::{FruAssessor, TrustParams};
+pub use trust::{class_severity, FruAssessor, TrustParams};

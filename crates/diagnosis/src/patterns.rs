@@ -202,7 +202,7 @@ impl OnaBank {
     /// α value accumulated against a component subject (experiment E11
     /// reads this directly).
     pub fn subject_alpha(&self, n: NodeId) -> f64 {
-        self.alpha_subject.get(&n).map(|a| a.alpha()).unwrap_or(0.0)
+        self.alpha_subject.get(&n).map(AlphaCount::alpha).unwrap_or(0.0)
     }
 
     /// Evaluates all ONAs for the round that just completed.
@@ -324,7 +324,8 @@ impl OnaBank {
                 // Stub fault: the component neither reaches the bus nor
                 // hears it — connector.
                 *self.window_stub_fail.entry(node).or_insert(false) = true;
-                let declared = self.alpha_stub.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                let declared =
+                    self.alpha_stub.get(&node).map(AlphaCount::is_declared).unwrap_or(false);
                 out.push(PatternMatch {
                     at: now,
                     fru: FruRef::Component(node),
@@ -335,9 +336,9 @@ impl OnaBank {
             } else if tx_event[c] {
                 *self.window_subject_fail.entry(node).or_insert(false) = true;
                 let declared =
-                    self.alpha_subject.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                    self.alpha_subject.get(&node).map(AlphaCount::is_declared).unwrap_or(false);
                 let trend = ds.subject_err_trend(node).unwrap_or(0.0);
-                let windows = ds.subject_err_windows(node).map(|w| w.len()).unwrap_or(0);
+                let windows = ds.subject_err_windows(node).map(<[u64]>::len).unwrap_or(0);
                 let wearing = windows >= self.params.wearout_min_windows
                     && trend >= self.params.wearout_slope_min;
                 if declared || wearing {
@@ -411,7 +412,8 @@ impl OnaBank {
             if total > *prev {
                 *prev = total;
                 *self.window_sync_fail.entry(node).or_insert(false) = true;
-                let declared = self.alpha_sync.get(&node).map(|a| a.is_declared()).unwrap_or(false);
+                let declared =
+                    self.alpha_sync.get(&node).map(AlphaCount::is_declared).unwrap_or(false);
                 out.push(PatternMatch {
                     at: now,
                     fru: FruRef::Component(node),

@@ -163,18 +163,18 @@ impl DistributedState {
     /// Long-horizon comm-error rate trend (slope of events/hour) about a
     /// subject component; `None` with fewer than two windows of history.
     pub fn subject_err_trend(&self, n: NodeId) -> Option<f64> {
-        self.subject_err_rate.get(&n).and_then(|r| r.trend_slope())
+        self.subject_err_rate.get(&n).and_then(RateWindows::trend_slope)
     }
 
     /// Total comm errors recorded about a subject component.
     pub fn subject_err_total(&self, n: NodeId) -> u64 {
-        self.subject_err_rate.get(&n).map(|r| r.total()).unwrap_or(0)
+        self.subject_err_rate.get(&n).map(RateWindows::total).unwrap_or(0)
     }
 
     /// Per-window comm-error counts about a subject (the wearout trend
     /// series of experiment E6/E7).
     pub fn subject_err_windows(&self, n: NodeId) -> Option<&[u64]> {
-        self.subject_err_rate.get(&n).map(|r| r.counts())
+        self.subject_err_rate.get(&n).map(RateWindows::counts)
     }
 
     /// Count of a symptom label for a component subject.

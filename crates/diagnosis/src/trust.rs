@@ -36,7 +36,11 @@ impl Default for TrustParams {
 }
 
 /// How strongly evidence of each class should erode trust in the FRU.
-fn class_severity(class: FaultClass) -> f64 {
+///
+/// Public so the static analyzer can reason about the trust transition
+/// relation (totality, decay-vs-recovery balance) with the exact weights
+/// the assessor applies at runtime.
+pub fn class_severity(class: FaultClass) -> f64 {
     match class {
         // Nothing wrong with the FRU itself.
         FaultClass::ComponentExternal => 0.05,

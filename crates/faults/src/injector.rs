@@ -345,14 +345,14 @@ impl Environment for FaultEnvironment {
             }
             match &f.spec.kind {
                 FaultKind::SensorStuck { value } => {
-                    job.set_sensor_fault(SensorFault::Stuck(*value))
+                    job.set_sensor_fault(SensorFault::Stuck(*value));
                 }
                 FaultKind::SensorDrift { per_hour } => job.set_sensor_fault(SensorFault::Drift {
                     per_hour: *per_hour,
                     since: f.spec.onset,
                 }),
                 FaultKind::SensorNoise { std_dev } => {
-                    job.set_sensor_fault(SensorFault::Noise { std_dev: *std_dev })
+                    job.set_sensor_fault(SensorFault::Noise { std_dev: *std_dev });
                 }
                 FaultKind::SensorDead => job.set_sensor_fault(SensorFault::Dead),
                 _ => {}

@@ -88,15 +88,26 @@ pub enum SpecError {
 }
 
 impl ClusterSpec {
-    /// Validates structural consistency.
+    /// Validates structural consistency, reporting the first error found.
+    ///
+    /// Thin shim over [`ClusterSpec::structural_errors`]; construction
+    /// sites only need a go/no-go answer, while `decos-analyzer` maps the
+    /// full list onto diagnostics.
     pub fn validate(&self) -> Result<(), SpecError> {
+        self.structural_errors().into_iter().next().map_or(Ok(()), Err)
+    }
+
+    /// Collects **every** structural error, in the order [`validate`]
+    /// historically checked them (global checks first, then per job).
+    ///
+    /// [`validate`]: ClusterSpec::validate
+    pub fn structural_errors(&self) -> Vec<SpecError> {
+        let mut errors = Vec::new();
         if self.components.len() > 64 {
-            return Err(SpecError::TooManyComponents);
+            errors.push(SpecError::TooManyComponents);
         }
-        for (i, c) in self.components.iter().enumerate() {
-            if c.node.0 as usize != i {
-                return Err(SpecError::NonContiguousNodeIds);
-            }
+        if self.components.iter().enumerate().any(|(i, c)| c.node.0 as usize != i) {
+            errors.push(SpecError::NonContiguousNodeIds);
         }
         let das_ids: BTreeMap<DasId, Criticality> =
             self.dases.iter().map(|d| (d.id, d.criticality)).collect();
@@ -105,28 +116,30 @@ impl ClusterSpec {
         let mut seen_jobs = std::collections::BTreeSet::new();
         for j in &self.jobs {
             if !seen_jobs.insert(j.id) {
-                return Err(SpecError::DuplicateJob(j.id));
+                errors.push(SpecError::DuplicateJob(j.id));
             }
             if (j.host.0 as usize) >= self.components.len() {
-                return Err(SpecError::UnknownHost(j.id));
+                errors.push(SpecError::UnknownHost(j.id));
             }
             match das_ids.get(&j.das) {
-                None => return Err(SpecError::UnknownDas(j.id)),
-                Some(c) if *c != j.criticality => return Err(SpecError::CriticalityMismatch(j.id)),
+                None => errors.push(SpecError::UnknownDas(j.id)),
+                Some(c) if *c != j.criticality => {
+                    errors.push(SpecError::CriticalityMismatch(j.id));
+                }
                 Some(_) => {}
             }
             for v in j.behavior.vnets() {
                 if !vnet_ids.contains(&v) {
-                    return Err(SpecError::UnknownVnet(j.id));
+                    errors.push(SpecError::UnknownVnet(j.id));
                 }
             }
             if let Some(p) = j.behavior.output_port() {
                 if !seen_ports.insert(p) {
-                    return Err(SpecError::DuplicatePort(p.0));
+                    errors.push(SpecError::DuplicatePort(p.0));
                 }
             }
         }
-        Ok(())
+        errors
     }
 
     /// The virtual-network configurations actually deployed, after applying
@@ -520,7 +533,7 @@ impl ClusterSim {
             match env.component_directive(t, c.node()) {
                 Some(ComponentDirective::Kill) => c.kill(t),
                 Some(ComponentDirective::Restart { dur_ns }) => {
-                    c.begin_restart(t, SimDuration::from_nanos(dur_ns))
+                    c.begin_restart(t, SimDuration::from_nanos(dur_ns));
                 }
                 None => {}
             }

@@ -175,12 +175,12 @@ impl VnetEndpoint {
     /// Receive-side overflow count, summed over all source ports — the
     /// message-loss indicator of a configuration (job borderline) fault.
     pub fn rx_overflows(&self) -> u64 {
-        self.rx_queues.values().map(|q| q.overflows()).sum()
+        self.rx_queues.values().map(EventPort::overflows).sum()
     }
 
     /// Total messages accepted into receive queues.
     pub fn rx_accepted(&self) -> u64 {
-        self.rx_queues.values().map(|q| q.accepted()).sum()
+        self.rx_queues.values().map(EventPort::accepted).sum()
     }
 
     /// Decode failures observed.

@@ -122,7 +122,8 @@ fn transients_longer_than_a_slot_are_detected() {
     let mut error_times: Vec<SimTime> = Vec::new();
     for _ in 0..20_000 * 4 {
         let rec = sim.step_slot(&mut env);
-        if rec.owner == NodeId(1) && rec.observations.iter().any(|o| o.is_error()) {
+        if rec.owner == NodeId(1) && rec.observations.iter().any(decos::platform::ObsKind::is_error)
+        {
             error_times.push(rec.start);
         }
     }

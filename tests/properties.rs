@@ -213,7 +213,7 @@ proptest! {
 fn every_fault_class_has_exactly_one_action() {
     use std::collections::BTreeSet;
     let actions: BTreeSet<MaintenanceAction> =
-        FaultClass::ALL.iter().map(|c| c.prescribed_action()).collect();
+        FaultClass::ALL.iter().map(FaultClass::prescribed_action).collect();
     assert_eq!(actions.len(), FaultClass::ALL.len(), "Fig. 11 mapping must be injective");
 }
 

@@ -32,6 +32,7 @@ pub fn analyze(exp: &ExperimentSpec<'_>) -> AnalysisReport {
     check_coverage(exp, &mut r);
     check_trust(exp, &mut r);
     check_campaign(exp, &mut r);
+    check_diag_path(exp, &mut r);
     check_config_defects(exp, &mut r);
     r.finish();
     r
@@ -96,6 +97,19 @@ fn check_structure(cluster: &ClusterSpec, r: &mut AnalysisReport) {
                     .with(Subject::Job(j))
                     .suggest("job ids are FRU handles and must be unique")
             }
+            SpecError::InvalidDiagNet => Diagnostic::new(
+                DiagCode::InvalidDiagNetConfig,
+                Severity::Error,
+                format!(
+                    "diagnostic network dimensioning is unusable \
+                     (capacity {}/round, queue depth {})",
+                    cluster.diag_net.capacity_per_round, cluster.diag_net.queue_depth
+                ),
+            )
+            .suggest(
+                "give the diagnostic vnet a positive capacity and a queue \
+                 at least one round deep",
+            ),
         };
         r.push(d);
     }
@@ -511,7 +525,7 @@ fn check_coverage(exp: &ExperimentSpec<'_>, r: &mut AnalysisReport) {
 fn check_trust(exp: &ExperimentSpec<'_>, r: &mut AnalysisReport) {
     let t = &exp.trust;
     let in_unit = |x: f64| x.is_finite() && (0.0..=1.0).contains(&x);
-    if !in_unit(t.decay_weight) || !in_unit(t.recovery_per_round) {
+    if !in_unit(t.decay_weight) || !in_unit(t.recovery_per_round) || !in_unit(t.freeze_quality) {
         // Find a witness evidence combination whose successor level is
         // undefined (outside [0,1] or NaN before clamping).
         let witness = FaultClass::ALL
@@ -527,13 +541,14 @@ fn check_trust(exp: &ExperimentSpec<'_>, r: &mut AnalysisReport) {
                 DiagCode::TrustTransitionPartial,
                 Severity::Error,
                 format!(
-                    "trust parameters (decay_weight {}, recovery_per_round {}) leave the \
-                     successor level undefined for {witness} evidence",
-                    t.decay_weight, t.recovery_per_round
+                    "trust parameters (decay_weight {}, recovery_per_round {}, \
+                     freeze_quality {}) leave the successor level undefined for \
+                     {witness} evidence",
+                    t.decay_weight, t.recovery_per_round, t.freeze_quality
                 ),
             )
             .with(Subject::Class(witness))
-            .suggest("both trust parameters must be finite values in [0, 1]"),
+            .suggest("all trust parameters must be finite values in [0, 1]"),
         );
         return;
     }
@@ -891,6 +906,87 @@ fn check_kind_params(
         }
         FaultKind::SensorNoise { std_dev } => {
             param(r, f, "std_dev", *std_dev, 0.0, f64::MAX);
+        }
+        FaultKind::DiagFrameLoss { loss_prob } => {
+            param(r, f, "loss_prob", *loss_prob, 0.0, 1.0);
+        }
+        FaultKind::DiagFrameCorruption { corrupt_prob } => {
+            param(r, f, "corrupt_prob", *corrupt_prob, 0.0, 1.0);
+        }
+        // Integer-valued kinds: their domains are enforced by the type;
+        // their interplay with the horizon and the screens is checked by
+        // the dedicated diagnostic-path pass (DA07x).
+        FaultKind::DiagFrameDelay { .. } | FaultKind::BabblingObserver { .. } => {}
+        FaultKind::DiagComponentCrash { rate_per_hour, outage_ms } => {
+            param(r, f, "rate_per_hour", *rate_per_hour, 0.0, f64::MAX);
+            param(r, f, "outage_ms", *outage_ms, f64::MIN_POSITIVE, f64::MAX);
+            rate_saturation(r, f, exp.accel, slot_secs, *rate_per_hour);
+        }
+    }
+}
+
+/// Diagnostic-path pass (DA07x): faults aimed at the diagnostic machinery
+/// itself must still describe a *measurable* degradation experiment.
+fn check_diag_path(exp: &ExperimentSpec<'_>, r: &mut AnalysisReport) {
+    let n_comps = exp.cluster.components.len();
+    // Mirror of `PlausibilityScreen::for_spec`: the per-observer-per-round
+    // physical ceiling the rate screen enforces.
+    let screen_cap = ((n_comps + exp.cluster.jobs.len()) * n_comps.max(1)) as u32;
+    for f in exp.faults {
+        match f.kind {
+            FaultKind::DiagFrameDelay { delay_rounds }
+                if exp.rounds > 0 && u64::from(delay_rounds) >= exp.rounds =>
+            {
+                r.push(
+                    Diagnostic::new(
+                        DiagCode::DiagDelayExceedsHorizon,
+                        Severity::Error,
+                        format!(
+                            "diagnostic frames delayed by {delay_rounds} rounds never \
+                             arrive within the {}-round horizon",
+                            exp.rounds
+                        ),
+                    )
+                    .with(Subject::Fault(f.id))
+                    .suggest("shorten the delay or extend the horizon"),
+                );
+            }
+            FaultKind::BabblingObserver { forged_per_round } if forged_per_round <= screen_cap => {
+                r.push(
+                    Diagnostic::new(
+                        DiagCode::DiagBabbleUndetectable,
+                        Severity::Info,
+                        format!(
+                            "babbling observer forges {forged_per_round} frames/round, at \
+                             or below the rate-screen ceiling of {screen_cap} — the flood \
+                             is admitted as legitimate traffic and never flagged"
+                        ),
+                    )
+                    .with(Subject::Fault(f.id))
+                    .suggest("forge more than the screen ceiling to study detection"),
+                );
+            }
+            FaultKind::DiagComponentCrash { rate_per_hour, outage_ms } => {
+                // Expected fraction of the horizon spent down; above ~half,
+                // the campaign measures the outage, not the diagnosis.
+                let down = rate_per_hour * exp.accel / 3600.0 * (outage_ms / 1000.0);
+                if down.is_finite() && down >= 0.5 {
+                    r.push(
+                        Diagnostic::new(
+                            DiagCode::DiagCrashDominatesHorizon,
+                            Severity::Warning,
+                            format!(
+                                "diagnostic component expected down {:.0}% of the time — \
+                                 verdicts rest on the standby's resync, not on diagnosis",
+                                down.min(1.0) * 100.0
+                            ),
+                        )
+                        .with(Subject::Fault(f.id))
+                        .suggest("lower the crash rate, the outage, or the acceleration"),
+                    );
+                }
+            }
+            _ => {}
         }
     }
 }

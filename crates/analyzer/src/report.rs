@@ -70,7 +70,7 @@ impl core::fmt::Display for Subject {
 /// Stable diagnostic codes. The `DAxxx` numbering groups by concern:
 /// 00x schedule/bandwidth, 01x TMR, 02x ONA coverage, 03x trust dynamics,
 /// 04x campaign, 05x configuration defects, 06x structural (the former
-/// `SpecError` variants).
+/// `SpecError` variants), 07x the diagnostic path itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DiagCode {
     /// Two claims on the same TDMA slot.
@@ -141,6 +141,15 @@ pub enum DiagCode {
     CriticalityMismatch,
     /// Two jobs sharing an id.
     DuplicateJob,
+    /// Diagnostic-network dimensioning unusable (zero capacity or a queue
+    /// shallower than one round of frames).
+    InvalidDiagNetConfig,
+    /// Diagnostic-component crash downtime dominates the simulated horizon.
+    DiagCrashDominatesHorizon,
+    /// Diagnostic-frame delay meets or exceeds the short-term horizon.
+    DiagDelayExceedsHorizon,
+    /// A babbling observer too quiet for the rate screen to ever flag.
+    DiagBabbleUndetectable,
 }
 
 impl DiagCode {
@@ -182,6 +191,10 @@ impl DiagCode {
             DiagCode::DuplicatePort => "DA065",
             DiagCode::CriticalityMismatch => "DA066",
             DiagCode::DuplicateJob => "DA067",
+            DiagCode::InvalidDiagNetConfig => "DA070",
+            DiagCode::DiagCrashDominatesHorizon => "DA071",
+            DiagCode::DiagDelayExceedsHorizon => "DA072",
+            DiagCode::DiagBabbleUndetectable => "DA073",
         }
     }
 
@@ -223,6 +236,10 @@ impl DiagCode {
             DiagCode::DuplicatePort => "DuplicatePort",
             DiagCode::CriticalityMismatch => "CriticalityMismatch",
             DiagCode::DuplicateJob => "DuplicateJob",
+            DiagCode::InvalidDiagNetConfig => "InvalidDiagNetConfig",
+            DiagCode::DiagCrashDominatesHorizon => "DiagCrashDominatesHorizon",
+            DiagCode::DiagDelayExceedsHorizon => "DiagDelayExceedsHorizon",
+            DiagCode::DiagBabbleUndetectable => "DiagBabbleUndetectable",
         }
     }
 }
@@ -414,6 +431,10 @@ mod tests {
             DiagCode::DuplicatePort,
             DiagCode::CriticalityMismatch,
             DiagCode::DuplicateJob,
+            DiagCode::InvalidDiagNetConfig,
+            DiagCode::DiagCrashDominatesHorizon,
+            DiagCode::DiagDelayExceedsHorizon,
+            DiagCode::DiagBabbleUndetectable,
         ];
         let codes: std::collections::BTreeSet<&str> = all.iter().map(|c| c.code()).collect();
         assert_eq!(codes.len(), all.len(), "every DiagCode must have a unique DAxxx");

@@ -138,6 +138,60 @@ fn mutation_onset_beyond_horizon_fires_da041() {
 }
 
 #[test]
+fn mutation_zero_diag_capacity_fires_da070() {
+    let mut spec = fig10::reference_spec();
+    spec.diag_net.capacity_per_round = 0;
+    let report = analyze(&ExperimentSpec::new(&spec));
+    assert!(report.contains(DiagCode::InvalidDiagNetConfig), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn mutation_diag_delay_beyond_horizon_fires_da072() {
+    let spec = fig10::reference_spec();
+    let faults = decos::faults::campaign::diag_degradation_campaign(0.0, 0.0, 200);
+    // 100 rounds of horizon, 200 rounds of delay: nothing ever arrives.
+    let report = analyze(&ExperimentSpec::with_campaign(&spec, &faults, 10.0, 100));
+    assert!(report.contains(DiagCode::DiagDelayExceedsHorizon), "{report}");
+    assert!(report.has_errors());
+}
+
+#[test]
+fn quiet_babbler_fires_da073_info_only() {
+    let spec = fig10::reference_spec();
+    // Four forged frames per round is far under the rate-screen ceiling:
+    // the screen will never flag this observer, which is worth knowing but
+    // is not a defect of the experiment.
+    let faults = decos::faults::campaign::babbling_observer_campaign(NodeId(3), 4);
+    let report = analyze(&ExperimentSpec::with_campaign(&spec, &faults, 10.0, ROUNDS));
+    assert!(!report.has_errors(), "{report}");
+    assert!(report.contains(DiagCode::DiagBabbleUndetectable), "{report}");
+}
+
+#[test]
+fn mutation_dominating_crash_fires_da071() {
+    let spec = fig10::reference_spec();
+    // One crash per accelerated second with one-second outages: the
+    // diagnostic component is down about as often as it is up.
+    let faults = decos::faults::campaign::diag_crash_campaign(NodeId(0), 3600.0, 1000.0);
+    let report = analyze(&ExperimentSpec::with_campaign(&spec, &faults, 10.0, ROUNDS));
+    assert!(report.contains(DiagCode::DiagCrashDominatesHorizon), "{report}");
+}
+
+#[test]
+fn degradation_campaigns_analyze_clean() {
+    use decos::faults::campaign;
+    let spec = fig10::reference_spec();
+    for (name, faults) in [
+        ("loss", campaign::diag_degradation_campaign(0.5, 0.0, 0)),
+        ("corruption", campaign::diag_degradation_campaign(0.0, 0.5, 0)),
+        ("total-loss", campaign::diag_degradation_campaign(1.0, 0.0, 0)),
+    ] {
+        assert_clean(name, &ExperimentSpec::with_campaign(&spec, &faults, 10.0, ROUNDS));
+    }
+}
+
+#[test]
 fn runner_refuses_what_the_analyzer_rejects() {
     // The same broken campaign through the public entry point: the run
     // must not start, and the full report must come back.

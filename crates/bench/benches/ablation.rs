@@ -72,7 +72,7 @@ fn bench_dissemination_budget(c: &mut Criterion) {
     for &cap in &[16usize, 64, 256] {
         g.throughput(Throughput::Elements(flood.len() as u64));
         g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            let mut net = DiagnosticNetwork::new(cap, cap * 8);
+            let mut net = DiagnosticNetwork::new(cap, cap * 8).expect("valid budget");
             b.iter(|| {
                 net.offer(&flood);
                 std::hint::black_box(net.deliver_round())

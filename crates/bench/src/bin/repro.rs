@@ -23,6 +23,7 @@ const IDS: &[&str] = &[
     "e11-alpha",
     "e12-ablation",
     "e13-service-loop",
+    "e14-diag-degradation",
 ];
 
 fn run_one(id: &str, effort: Effort, json: bool) {
@@ -50,6 +51,7 @@ fn run_one(id: &str, effort: Effort, json: bool) {
         "e11-alpha" => emit!(exp::e11_alpha(effort)),
         "e12-ablation" => emit!(exp::e12_ablation(effort)),
         "e13-service-loop" => emit!(exp::e13_service_loop(effort)),
+        "e14-diag-degradation" => emit!(exp::e14_diag_degradation(effort)),
         other => {
             eprintln!("unknown experiment '{other}'; available: {IDS:?} or 'all'");
             std::process::exit(2);

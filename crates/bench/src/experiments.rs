@@ -1333,3 +1333,146 @@ impl E11Alpha {
         s
     }
 }
+
+// ===========================================================================
+// E14 — robustness: the diagnostic path under its own fault model.
+// ===========================================================================
+
+/// One sweep point of the degradation experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationPoint {
+    /// Injected symptom-frame loss probability.
+    pub loss: f64,
+    /// Injected symptom-frame corruption probability.
+    pub corrupt: f64,
+    /// Mean delivery quality over informative rounds, as reported.
+    pub delivery_quality: f64,
+    /// Symptom frames that survived transit and screening.
+    pub delivered: u64,
+    /// Symptom frames offered to the virtual diagnostic network.
+    pub offered: u64,
+    /// Whether the report flagged the diagnostic path degraded.
+    pub degraded: bool,
+    /// The true FRU still carries its true fault class in the verdicts.
+    pub truth_found: bool,
+    /// Replacement actions recommended against healthy FRUs.
+    pub false_replacements: u64,
+    /// Any action recommended at all.
+    pub actions: u64,
+}
+
+/// The E14 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E14Degradation {
+    /// Ground truth of every sweep point.
+    pub truth: String,
+    /// Loss sweep (corruption fixed at 0).
+    pub loss_sweep: Vec<DegradationPoint>,
+    /// Corruption sweep (loss fixed at 0).
+    pub corruption_sweep: Vec<DegradationPoint>,
+    /// The bottom-line soundness claim: with the symptom stream fully
+    /// severed, the engine flags the degradation and recommends nothing.
+    pub sound_at_total_loss: bool,
+}
+
+/// Runs E14: a fixed connector fault plus an increasingly hostile
+/// diagnostic path. The architecture must degrade *gracefully*: verdicts
+/// may starve, but the report must say so (`degraded`), and no healthy
+/// FRU may be condemned on a distorted symptom stream — absence of
+/// evidence is never treated as evidence of health, and a silent channel
+/// must not be mistaken for a silent fault.
+pub fn e14_diag_degradation(effort: Effort) -> E14Degradation {
+    let rounds = effort.scale(8_000);
+    let truth_fru = FruRef::Component(NodeId(2));
+    let truth_class = FaultClass::ComponentBorderline;
+    let levels = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+    let run_point = |loss: f64, corrupt: f64, seed: u64| -> DegradationPoint {
+        let mut faults = campaign::connector_campaign(NodeId(2), 2000.0);
+        faults.extend(campaign::diag_degradation_campaign(loss, corrupt, 0));
+        let c = Campaign::reference(faults, 10.0, rounds, seed);
+        let out = run_campaign(&c).expect("degradation campaign analyzes clean");
+        let truth_found =
+            out.report.verdict_of(truth_fru).is_some_and(|v| v.class == Some(truth_class));
+        let false_replacements = out
+            .report
+            .actions()
+            .iter()
+            .filter(|(fru, a)| *a == MaintenanceAction::ReplaceComponent && *fru != truth_fru)
+            .count() as u64;
+        DegradationPoint {
+            loss,
+            corrupt,
+            delivery_quality: out.report.delivery_quality,
+            delivered: out.dissemination.delivered,
+            offered: out.dissemination.offered,
+            degraded: out.report.degraded,
+            truth_found,
+            false_replacements,
+            actions: out.report.actions().len() as u64,
+        }
+    };
+
+    let loss_sweep: Vec<DegradationPoint> = (0..levels.len())
+        .into_par_iter()
+        .map(|i| run_point(levels[i], 0.0, 1_400 + i as u64))
+        .collect();
+    let corruption_sweep: Vec<DegradationPoint> = (0..levels.len())
+        .into_par_iter()
+        .map(|i| run_point(0.0, levels[i], 1_500 + i as u64))
+        .collect();
+
+    // Soundness under a fully severed path: both the total-loss and the
+    // total-corruption endpoint must flag degradation, recommend nothing,
+    // and report near-zero delivery quality.
+    let sound = |p: &DegradationPoint| {
+        p.degraded && p.actions == 0 && p.false_replacements == 0 && p.delivery_quality < 0.1
+    };
+    let sound_at_total_loss = sound(loss_sweep.last().expect("non-empty sweep"))
+        && sound(corruption_sweep.last().expect("non-empty sweep"));
+
+    E14Degradation {
+        truth: "connector fault at component 2 (expected action: inspect-connector)".into(),
+        loss_sweep,
+        corruption_sweep,
+        sound_at_total_loss,
+    }
+}
+
+impl E14Degradation {
+    /// Text rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::from("E14 — diagnostic-path degradation sweep (robustness)\n\n");
+        let _ = writeln!(s, "  truth: {}\n", self.truth);
+        let table = |s: &mut String, label: &str, points: &[DegradationPoint]| {
+            let _ = writeln!(
+                *s,
+                "  {:<18}{:>9}{:>18}{:>10}{:>7}{:>15}",
+                label, "quality", "delivered/offered", "degraded", "truth", "false-replace"
+            );
+            for p in points {
+                let knob = if label.starts_with("loss") { p.loss } else { p.corrupt };
+                let _ = writeln!(
+                    *s,
+                    "  {:<18}{:>9.3}{:>11}/{:<7}{:>9}{:>7}{:>14}",
+                    format!("p = {knob:.2}"),
+                    p.delivery_quality,
+                    p.delivered,
+                    p.offered,
+                    if p.degraded { "yes" } else { "no" },
+                    if p.truth_found { "yes" } else { "no" },
+                    p.false_replacements
+                );
+            }
+            s.push('\n');
+        };
+        table(&mut s, "loss sweep", &self.loss_sweep);
+        table(&mut s, "corruption sweep", &self.corruption_sweep);
+        let _ = writeln!(
+            s,
+            "  sound-under-total-loss: {}",
+            if self.sound_at_total_loss { "PASS" } else { "FAIL" }
+        );
+        s
+    }
+}

@@ -53,6 +53,8 @@ pub struct VehicleOutcome {
     pub decos: ActionScore,
     /// Baseline action score.
     pub obd: ActionScore,
+    /// Mean delivery quality of the vehicle's diagnostic path.
+    pub delivery_quality: f64,
 }
 
 /// Aggregated fleet results.
@@ -68,6 +70,11 @@ pub struct FleetOutcome {
     pub obd: ActionScore,
     /// Ground-truth class counts.
     pub class_counts: BTreeMap<String, u64>,
+    /// Fleet-mean delivery quality of the diagnostic path (1.0 unless
+    /// diagnostic-path faults were injected).
+    pub mean_delivery_quality: f64,
+    /// Vehicles whose diagnostic path was flagged degraded.
+    pub degraded_vehicles: u64,
 }
 
 /// Runs a fleet and aggregates.
@@ -100,13 +107,26 @@ pub fn run_fleet_with_params(
     let mut decos = ActionScore::default();
     let mut obd = ActionScore::default();
     let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut quality_sum = 0.0;
     for o in &vehicles {
         confusion.record(o.truth_class, o.decos_class);
         decos.merge(&o.decos);
         obd.merge(&o.obd);
         *class_counts.entry(o.truth_class.to_string()).or_insert(0) += 1;
+        quality_sum += o.delivery_quality;
     }
-    Ok(FleetOutcome { vehicles, confusion, decos, obd, class_counts })
+    let mean_delivery_quality =
+        if vehicles.is_empty() { 1.0 } else { quality_sum / vehicles.len() as f64 };
+    let degraded_vehicles = vehicles.iter().filter(|o| o.delivery_quality < 0.9).count() as u64;
+    Ok(FleetOutcome {
+        vehicles,
+        confusion,
+        decos,
+        obd,
+        class_counts,
+        mean_delivery_quality,
+        degraded_vehicles,
+    })
 }
 
 fn run_vehicle(
@@ -144,6 +164,7 @@ fn run_vehicle(
         decos_class,
         decos: score_case(truth_fru, truth_class, &decos_actions),
         obd: score_case(truth_fru, truth_class, &obd_actions),
+        delivery_quality: out.report.delivery_quality,
     }
 }
 
@@ -161,6 +182,8 @@ mod tests {
         assert_eq!(out.obd.cases, 8);
         assert_eq!(out.confusion.total(), 8);
         assert!(!out.class_counts.is_empty());
+        assert_eq!(out.mean_delivery_quality, 1.0, "no diag-path faults sampled");
+        assert_eq!(out.degraded_vehicles, 0);
     }
 
     #[test]

@@ -147,7 +147,11 @@ pub fn run_campaign_observed(
         c.accel,
         SeedSource::new(c.seed).child(1),
     );
-    let mut engine = DiagnosticEngine::new(&sim, params);
+    let mut engine = DiagnosticEngine::try_new(&sim, params)?;
+    // Decorrelate the diagnostic path's transit randomness from the
+    // workload/injection streams (and between fleet vehicles).
+    let mut diag_seed = c.seed ^ 0xD1A6_0000_0000_0000;
+    engine.reseed_diag(decos_sim::rng::splitmix64(&mut diag_seed));
     let mut obd = ObdDiagnosis::new(&sim, ObdParams::default());
 
     // Runtime mirrors of the statically checked invariants (debug builds
@@ -178,6 +182,9 @@ pub fn run_campaign_observed(
             rec.sent.iter().all(|(v, _)| deployed_ids.contains(v)),
             "transmitted segments must belong to deployed vnets"
         );
+        // The diagnostic path is itself subject to the fault model: bridge
+        // the environment's active path disturbance into the engine.
+        engine.inject_disturbance(env.diag_disturbance());
         engine.on_slot(&sim, &rec);
         obd.on_slot(&sim, &rec);
         for ex in extras.iter_mut() {

@@ -56,6 +56,16 @@ pub struct DiagnosticReport {
     pub verdicts: Vec<FruVerdict>,
     /// Total pattern matches ingested.
     pub total_matches: u64,
+    /// Mean delivery quality of the diagnostic path over the campaign
+    /// (1 = every offered symptom survived transit).
+    pub delivery_quality: f64,
+    /// True when the diagnostic path itself was faulty enough that the
+    /// verdicts rest on a starved or distorted symptom stream.
+    pub degraded: bool,
+    /// Cold-standby failovers of the diagnostic component.
+    pub failovers: u32,
+    /// Rounds lost to a crashed diagnostic component.
+    pub crashed_rounds: u64,
 }
 
 impl DiagnosticReport {
@@ -157,7 +167,16 @@ impl MaintenanceAdvisor {
             }
         }
         verdicts.sort_by(|a, b| a.trust.partial_cmp(&b.trust).expect("finite"));
-        DiagnosticReport { verdicts, total_matches: self.total }
+        // Path-health fields default to "healthy"; the engine overwrites
+        // them from its delivery-quality bookkeeping.
+        DiagnosticReport {
+            verdicts,
+            total_matches: self.total,
+            delivery_quality: 1.0,
+            degraded: false,
+            failovers: 0,
+            crashed_rounds: 0,
+        }
     }
 }
 

@@ -8,12 +8,13 @@
 
 use crate::advisor::{AdvisorParams, DiagnosticReport, MaintenanceAdvisor};
 use crate::detectors::SymptomDetectors;
-use crate::dissemination::{DiagnosticNetwork, DisseminationStats};
+use crate::dissemination::{DiagnosticNetwork, DisseminationStats, PlausibilityScreen};
 use crate::patterns::{OnaBank, OnaParams, PatternMatch};
 use crate::state::DistributedState;
+use crate::symptom::{Subject, Symptom, SymptomKind};
 use crate::trust::{FruAssessor, TrustParams};
-use decos_faults::FruRef;
-use decos_platform::{ClusterSim, SlotRecord};
+use decos_faults::{DiagDisturbance, FruRef};
+use decos_platform::{ClusterSim, NodeId, SlotRecord, SpecError};
 use decos_sim::time::SimDuration;
 
 /// Aggregate configuration of the engine.
@@ -31,6 +32,10 @@ pub struct EngineParams {
     pub trend_window: SimDuration,
     /// Diagnostic-network bandwidth, symptoms per round.
     pub net_capacity_per_round: usize,
+    /// Rounds of short-term history the cold-standby replica replays from
+    /// its peers after a failover; during the resync it runs at reduced
+    /// quality.
+    pub resync_rounds: u16,
 }
 
 impl Default for EngineParams {
@@ -42,6 +47,7 @@ impl Default for EngineParams {
             horizon_rounds: 512,
             trend_window: SimDuration::from_millis(400),
             net_capacity_per_round: 64,
+            resync_rounds: 8,
         }
     }
 }
@@ -54,22 +60,41 @@ pub struct DiagnosticEngine {
     bank: OnaBank,
     trust: FruAssessor,
     advisor: MaintenanceAdvisor,
-    scratch: Vec<crate::symptom::Symptom>,
-    delivered: Vec<crate::symptom::Symptom>,
+    scratch: Vec<Symptom>,
+    delivered: Vec<Symptom>,
     slots_per_round: u16,
     slot_in_round: u16,
     matches_last_round: Vec<PatternMatch>,
+    /// The diagnostic-path disturbance in force (fed by the campaign
+    /// runner from the fault environment; [`DiagDisturbance::NONE`] means
+    /// a healthy path).
+    disturbance: DiagDisturbance,
+    /// Whether the primary diagnostic component is currently crashed.
+    primary_down: bool,
+    /// Rounds of bounded resync still owed after the last failover.
+    resync_remaining: u16,
+    resync_rounds: u16,
+    failovers: u32,
+    crashed_rounds: u64,
+    /// Deterministic sequence for forged-frame fabrication (babbler).
+    forge_seq: u64,
+    quality_sum: f64,
+    quality_rounds: u64,
+    last_quality: f64,
 }
 
 impl DiagnosticEngine {
-    /// Builds the engine for a cluster.
-    pub fn new(sim: &ClusterSim, params: EngineParams) -> Self {
-        DiagnosticEngine {
+    /// Builds the engine for a cluster, failing on a misdimensioned
+    /// diagnostic network instead of panicking.
+    pub fn try_new(sim: &ClusterSim, params: EngineParams) -> Result<Self, SpecError> {
+        let network = DiagnosticNetwork::new(
+            params.net_capacity_per_round,
+            params.net_capacity_per_round * 8,
+        )?
+        .with_screen(PlausibilityScreen::for_spec(sim.spec()));
+        Ok(DiagnosticEngine {
             detectors: SymptomDetectors::new(sim),
-            network: DiagnosticNetwork::new(
-                params.net_capacity_per_round,
-                params.net_capacity_per_round * 8,
-            ),
+            network,
             state: DistributedState::new(params.horizon_rounds, params.trend_window),
             bank: OnaBank::new(sim, params.ona),
             trust: FruAssessor::new(params.trust),
@@ -82,6 +107,64 @@ impl DiagnosticEngine {
             slots_per_round: sim.schedule().slots_per_round(),
             slot_in_round: 0,
             matches_last_round: Vec::new(),
+            disturbance: DiagDisturbance::NONE,
+            primary_down: false,
+            resync_remaining: 0,
+            resync_rounds: params.resync_rounds,
+            failovers: 0,
+            crashed_rounds: 0,
+            forge_seq: 0,
+            quality_sum: 0.0,
+            quality_rounds: 0,
+            last_quality: 1.0,
+        })
+    }
+
+    /// Builds the engine for a cluster.
+    ///
+    /// # Panics
+    /// On a zero-capacity diagnostic network; use
+    /// [`try_new`](DiagnosticEngine::try_new) to handle that as a
+    /// [`SpecError`].
+    pub fn new(sim: &ClusterSim, params: EngineParams) -> Self {
+        Self::try_new(sim, params).expect("valid diagnostic-network dimensioning")
+    }
+
+    /// Sets the diagnostic-path disturbance for subsequent slots. Campaign
+    /// runners call this each slot with
+    /// [`FaultEnvironment::diag_disturbance`].
+    ///
+    /// [`FaultEnvironment::diag_disturbance`]:
+    /// decos_faults::FaultEnvironment::diag_disturbance
+    pub fn inject_disturbance(&mut self, d: DiagDisturbance) {
+        self.disturbance = d;
+    }
+
+    /// Reseeds the transit randomness of the diagnostic network (campaign
+    /// runners decorrelate vehicles with this).
+    pub fn reseed_diag(&mut self, seed: u64) {
+        self.network.reseed(seed);
+    }
+
+    /// Fabricates the babbling observer's forged symptom frames into the
+    /// scratch buffer. Deterministic — the babbler rotates over subjects
+    /// and alternates kinds, which is exactly the indiscriminate accusation
+    /// flood the rate screen exists to catch.
+    fn forge_babble(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
+        let Some(babbler) = self.disturbance.babbler else { return };
+        let n = sim.spec().components.len().max(1) as u64;
+        let per_slot =
+            (self.disturbance.forged_per_round as usize).div_ceil(self.slots_per_round as usize);
+        let point = sim.lattice().point(rec.start);
+        for _ in 0..per_slot {
+            let subject = Subject::Component(NodeId((self.forge_seq % n) as u16));
+            let kind = if (self.forge_seq / n) % 2 == 0 {
+                SymptomKind::Omission
+            } else {
+                SymptomKind::InvalidCrc
+            };
+            self.forge_seq += 1;
+            self.scratch.push(Symptom { at: rec.start, point, observer: babbler, subject, kind });
         }
     }
 
@@ -89,17 +172,70 @@ impl DiagnosticEngine {
     pub fn observe_slot(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
         self.scratch.clear();
         self.detectors.detect(sim, rec, &mut self.scratch);
-        self.network.offer(&self.scratch);
+        if self.disturbance.babbler.is_some() {
+            self.forge_babble(sim, rec);
+        }
+        self.network.offer_disturbed(&self.scratch, &self.disturbance, Some(rec.start));
         self.slot_in_round += 1;
         if self.slot_in_round >= self.slots_per_round {
             self.slot_in_round = 0;
-            self.network.deliver_round_into(&mut self.delivered);
-            let now = rec.start;
-            self.state.ingest_round_buf(now, &self.delivered);
-            self.bank.evaluate_round_into(now, &self.state, &mut self.matches_last_round);
-            self.trust.update_round(&self.matches_last_round);
-            self.advisor.ingest(&self.matches_last_round);
+            self.close_round(rec.start);
         }
+    }
+
+    /// Closes one dissemination round: failover bookkeeping, delivery,
+    /// state ingestion, ONA evaluation, quality-weighted trust update.
+    fn close_round(&mut self, now: decos_sim::SimTime) {
+        if self.disturbance.crashed {
+            // The primary diagnostic component is down: nothing consumes
+            // the round. Frames keep queuing in the virtual network (and
+            // overflow by priority); the round contributes zero quality.
+            self.primary_down = true;
+            self.crashed_rounds += 1;
+            self.matches_last_round.clear();
+            self.track_quality(0.0);
+            return;
+        }
+        if self.primary_down {
+            // The cold standby takes over. Trust levels and accumulated
+            // evidence survive (they model the checkpointed maintenance
+            // database); the in-RAM short-term window is lost except for
+            // the bounded resync the peers replay.
+            self.primary_down = false;
+            self.failovers += 1;
+            self.resync_remaining = self.resync_rounds;
+            self.state.forget_short_term(self.resync_rounds as usize);
+        }
+        self.network.deliver_round_into(&mut self.delivered);
+        let mut q = self.network.last_round_quality();
+        let resyncing = self.resync_remaining > 0;
+        if resyncing {
+            self.resync_remaining -= 1;
+            q *= 0.5;
+        }
+        // A round with no symptom traffic in transit says nothing about
+        // the path; only informative rounds enter the campaign mean.
+        if self.network.last_round_transit() > 0 || resyncing {
+            self.track_quality(q);
+        } else {
+            self.last_quality = q;
+        }
+        self.state.ingest_round_buf(now, &self.delivered);
+        self.bank.evaluate_round_into(now, &self.state, &mut self.matches_last_round);
+        if q < 1.0 {
+            // Matches built on a lossy stream carry less weight.
+            for m in self.matches_last_round.iter_mut() {
+                m.confidence *= q;
+            }
+        }
+        self.trust.update_round_weighted(&self.matches_last_round, q);
+        self.advisor.ingest(&self.matches_last_round);
+    }
+
+    fn track_quality(&mut self, q: f64) {
+        self.last_quality = q;
+        self.quality_sum += q;
+        self.quality_rounds += 1;
     }
 
     /// Pattern matches of the most recently completed round.
@@ -127,9 +263,46 @@ impl DiagnosticEngine {
         self.network.stats()
     }
 
-    /// The campaign report.
+    /// Mean delivery quality over all completed rounds (1.0 before any
+    /// round closed).
+    pub fn delivery_quality(&self) -> f64 {
+        if self.quality_rounds == 0 {
+            1.0
+        } else {
+            self.quality_sum / self.quality_rounds as f64
+        }
+    }
+
+    /// Delivery quality of the most recently closed round.
+    pub fn last_round_quality(&self) -> f64 {
+        self.last_quality
+    }
+
+    /// Cold-standby failovers of the diagnostic component so far.
+    pub fn failovers(&self) -> u32 {
+        self.failovers
+    }
+
+    /// Rounds lost to a crashed diagnostic component so far.
+    pub fn crashed_rounds(&self) -> u64 {
+        self.crashed_rounds
+    }
+
+    /// Rounds the trust assessor discarded because the symptom stream was
+    /// too starved to act on.
+    pub fn frozen_rounds(&self) -> u64 {
+        self.trust.frozen_rounds()
+    }
+
+    /// The campaign report, annotated with the health of the diagnostic
+    /// path itself.
     pub fn report(&self) -> DiagnosticReport {
-        self.advisor.report(&self.trust)
+        let mut rep = self.advisor.report(&self.trust);
+        rep.delivery_quality = self.delivery_quality();
+        rep.failovers = self.failovers;
+        rep.crashed_rounds = self.crashed_rounds;
+        rep.degraded = rep.delivery_quality < 0.9 || self.failovers > 0 || self.primary_down;
+        rep
     }
 }
 
@@ -234,5 +407,104 @@ mod tests {
         assert!(stats.offered > 0);
         assert!(stats.delivered > 0);
         assert!(stats.delivered <= stats.offered);
+    }
+
+    /// Like [`run_engine`], but bridging the environment's diagnostic-path
+    /// disturbance into the engine each slot, the way campaign runners do.
+    fn run_engine_disturbed(
+        spec: decos_platform::ClusterSpec,
+        faults: Vec<FaultSpec>,
+        accel: f64,
+        rounds: u64,
+    ) -> (DiagnosticEngine, ClusterSim) {
+        let mut env = FaultEnvironment::for_cluster(faults, &spec, accel, SeedSource::new(17));
+        let mut sim = ClusterSim::new(spec, 23).unwrap();
+        let mut eng = DiagnosticEngine::new(&sim, EngineParams::default());
+        eng.reseed_diag(0xD1A6_5EED);
+        for _ in 0..rounds * 4 {
+            let rec = sim.step_slot(&mut env);
+            eng.inject_disturbance(env.diag_disturbance());
+            eng.observe_slot(&sim, &rec);
+        }
+        (eng, sim)
+    }
+
+    #[test]
+    fn zero_capacity_network_is_a_spec_error() {
+        let sim = ClusterSim::new(fig10::reference_spec(), 23).unwrap();
+        let params = EngineParams { net_capacity_per_round: 0, ..Default::default() };
+        assert!(DiagnosticEngine::try_new(&sim, params).is_err());
+    }
+
+    #[test]
+    fn total_symptom_loss_degrades_gracefully() {
+        // A real connector fault is active, but the diagnostic path loses
+        // every symptom frame. The engine must recognise its own blindness:
+        // no verdicts, no maintenance actions, trust frozen at full.
+        let mut faults = decos_faults::campaign::connector_campaign(NodeId(2), 2000.0);
+        faults.extend(decos_faults::campaign::diag_degradation_campaign(1.0, 0.0, 0));
+        let (eng, _) = run_engine_disturbed(fig10::reference_spec(), faults, 10.0, 2000);
+        let stats = eng.dissemination_stats();
+        assert!(stats.offered > 0, "the detectors did raise symptoms: {stats:?}");
+        assert_eq!(stats.delivered, 0, "total loss must deliver nothing: {stats:?}");
+        let rep = eng.report();
+        assert!(rep.actions().is_empty(), "blind diagnosis must not act: {:?}", rep.actions());
+        assert_eq!(
+            eng.trust_of(FruRef::Component(NodeId(2))),
+            1.0,
+            "no evidence must not move trust (in either direction)"
+        );
+        assert!(rep.degraded, "the report must flag the degraded path");
+        assert!(rep.delivery_quality < 0.1, "quality {} must collapse", rep.delivery_quality);
+    }
+
+    #[test]
+    fn babbling_observer_cannot_force_replacement() {
+        // Node 3's diagnostic interface floods forged accusations against
+        // every component. The rate screen must flag the excess and the ONA
+        // breadth logic must refuse to convict the accused.
+        let faults = decos_faults::campaign::babbling_observer_campaign(NodeId(3), 500);
+        let (eng, _) = run_engine_disturbed(fig10::reference_spec(), faults, 1.0, 1500);
+        let stats = eng.dissemination_stats();
+        assert!(stats.forged_suspected > 0, "rate screen must flag the flood: {stats:?}");
+        let rep = eng.report();
+        assert!(
+            !rep.actions().iter().any(|(_, a)| *a == MaintenanceAction::ReplaceComponent),
+            "forged symptoms must not cause removals: {:?}",
+            rep.actions()
+        );
+        for c in [0u16, 1, 2] {
+            let t = eng.trust_of(FruRef::Component(NodeId(c)));
+            assert!(t > 0.9, "accused component {c} keeps its trust: {t}");
+        }
+    }
+
+    #[test]
+    fn diag_crash_fails_over_to_standby() {
+        let faults = decos_faults::campaign::diag_crash_campaign(NodeId(0), 2000.0, 30.0);
+        let (eng, _) = run_engine_disturbed(fig10::reference_spec(), faults, 10.0, 4000);
+        assert!(eng.crashed_rounds() > 0, "outages must cost rounds");
+        assert!(eng.failovers() > 0, "each outage must end in a failover");
+        let rep = eng.report();
+        assert!(rep.degraded);
+        assert_eq!(rep.failovers, eng.failovers());
+        assert_eq!(rep.crashed_rounds, eng.crashed_rounds());
+        // The healthy application cluster must still produce no actions.
+        assert!(rep.actions().is_empty(), "{:?}", rep.actions());
+    }
+
+    #[test]
+    fn partial_loss_still_converges_on_the_real_fault() {
+        // Half the frames are lost, yet the wearout verdict must survive —
+        // degraded, slower, but sound.
+        let mut faults = decos_faults::campaign::wearout_campaign(NodeId(1), 200.0, 400_000.0);
+        faults.extend(decos_faults::campaign::diag_degradation_campaign(0.3, 0.0, 0));
+        let (eng, _) = run_engine_disturbed(fig10::reference_spec(), faults, 1.0, 15_000);
+        let rep = eng.report();
+        let fru = FruRef::Component(NodeId(1));
+        let v = rep.verdict_of(fru).expect("worn component must still be assessed");
+        assert_eq!(v.class, Some(FaultClass::ComponentInternal), "verdict: {v:?}");
+        assert!(rep.degraded, "30% loss must be reported as a degraded path");
+        assert!(rep.delivery_quality < 0.9);
     }
 }

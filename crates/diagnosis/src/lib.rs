@@ -33,7 +33,7 @@ pub mod trust;
 pub use advisor::{AdvisorParams, DiagnosticReport, FruVerdict, MaintenanceAdvisor};
 pub use baseline::{Dtc, ObdDiagnosis, ObdParams, ObdReport};
 pub use detectors::{DetectorParams, SymptomDetectors};
-pub use dissemination::{DiagnosticNetwork, DisseminationStats};
+pub use dissemination::{DiagnosticNetwork, DisseminationStats, PlausibilityScreen};
 pub use engine::{DiagnosticEngine, EngineParams};
 pub use metrics::{score_case, ActionScore, ConfusionMatrix, REMOVAL_COST_USD};
 pub use patterns::{OnaBank, OnaParams, PatternMatch};

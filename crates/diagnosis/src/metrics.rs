@@ -58,6 +58,19 @@ impl ConfusionMatrix {
         correct as f64 / total as f64
     }
 
+    /// Share of recorded outcomes left undecided. Under a degraded
+    /// diagnostic path this is the *honest* failure mode: the engine
+    /// abstains instead of guessing, so soundness sweeps watch this rise
+    /// while misclassifications stay flat.
+    pub fn undecided_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let undecided: u64 = (0..6).map(|i| self.counts[i][6]).sum();
+        undecided as f64 / total as f64
+    }
+
     /// Recall of one class.
     pub fn recall(&self, class: FaultClass) -> f64 {
         let i = Self::index(class);
@@ -193,6 +206,8 @@ mod tests {
         // Predicted external twice, once correctly.
         assert_eq!(m.precision(FaultClass::ComponentExternal), 0.5);
         assert_eq!(m.count(FaultClass::JobBorderline, None), 1);
+        assert_eq!(m.undecided_share(), 0.25);
+        assert_eq!(ConfusionMatrix::new().undecided_share(), 0.0, "empty matrix must not NaN");
         let table = m.render();
         assert!(table.contains("c-int"));
         assert!(table.contains("undec"));

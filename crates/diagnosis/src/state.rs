@@ -137,6 +137,23 @@ impl DistributedState {
         self.total
     }
 
+    /// Cold-standby failover: drops the short-term correlation history
+    /// except the newest `keep_rounds` rounds.
+    ///
+    /// The in-RAM recent window dies with the crashed diagnostic
+    /// component; the standby replica can only re-establish what the
+    /// bounded resync protocol replays to it. The long-horizon
+    /// accumulators (rate windows, label counts, value series) model the
+    /// checkpointed maintenance database and survive.
+    pub fn forget_short_term(&mut self, keep_rounds: usize) {
+        while self.recent.len() > keep_rounds {
+            if let Some((_, mut v)) = self.recent.pop_front() {
+                v.clear();
+                self.spare.push(v);
+            }
+        }
+    }
+
     /// Iterates the symptoms of the last `rounds` rounds.
     pub fn recent_symptoms(&self, rounds: usize) -> impl Iterator<Item = &Symptom> {
         let skip = self.recent.len().saturating_sub(rounds);
@@ -315,6 +332,21 @@ mod tests {
         }
         assert_eq!(ds.recent_symptoms(100).count(), 3, "history bounded to horizon");
         assert_eq!(ds.total(), 10, "long-horizon counters keep everything");
+    }
+
+    #[test]
+    fn failover_forgets_short_term_but_keeps_accumulators() {
+        let mut ds = state();
+        for r in 0..10u64 {
+            ds.ingest_round(
+                SimTime::from_millis(r * 4),
+                vec![sym(0, Subject::Component(NodeId(1)), SymptomKind::Omission, r * 4)],
+            );
+        }
+        ds.forget_short_term(2);
+        assert_eq!(ds.recent_symptoms(100).count(), 2, "only the resynced rounds survive");
+        assert_eq!(ds.total(), 10, "the checkpointed accumulators survive the crash");
+        assert_eq!(ds.subject_err_total(NodeId(1)), 10);
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   trajectory B (a healthy FRU exposed to environmental transients)
 //!   returns to high trust while trajectory A (a degrading FRU) ratchets
 //!   down.
+//!
+//! Both dynamics presume the symptom stream is *flowing*. When the
+//! diagnostic path itself degrades, a quiet round stops meaning "the FRU is
+//! healthy" and starts meaning "we are blind" — so updates are weighted by
+//! the round's delivery quality, and below a hysteresis threshold
+//! ([`TrustParams::freeze_quality`]) trust freezes entirely: no evidence is
+//! not evidence of health.
 
 use crate::patterns::PatternMatch;
 use decos_faults::{FaultClass, FruRef};
@@ -27,11 +34,14 @@ pub struct TrustParams {
     pub decay_weight: f64,
     /// Recovery rate toward 1 per quiet round.
     pub recovery_per_round: f64,
+    /// Delivery-quality hysteresis threshold: below this, the round's
+    /// evidence is too starved to act on and trust levels freeze.
+    pub freeze_quality: f64,
 }
 
 impl Default for TrustParams {
     fn default() -> Self {
-        TrustParams { decay_weight: 0.05, recovery_per_round: 0.001 }
+        TrustParams { decay_weight: 0.05, recovery_per_round: 0.001, freeze_quality: 0.2 }
     }
 }
 
@@ -57,12 +67,15 @@ pub fn class_severity(class: FaultClass) -> f64 {
 pub struct FruAssessor {
     params: TrustParams,
     trust: BTreeMap<FruRef, f64>,
+    /// Rounds skipped because delivery quality was below the freeze
+    /// threshold.
+    frozen_rounds: u64,
 }
 
 impl FruAssessor {
     /// Creates an assessor; unknown FRUs implicitly start at trust 1.
     pub fn new(params: TrustParams) -> Self {
-        FruAssessor { params, trust: BTreeMap::new() }
+        FruAssessor { params, trust: BTreeMap::new(), frozen_rounds: 0 }
     }
 
     /// The current trust level of a FRU.
@@ -76,17 +89,42 @@ impl FruAssessor {
     }
 
     /// Applies one round of pattern matches, then lets every tracked FRU
-    /// recover slightly.
+    /// recover slightly. Assumes a healthy diagnostic path (delivery
+    /// quality 1); campaign drivers use
+    /// [`update_round_weighted`](FruAssessor::update_round_weighted).
     pub fn update_round(&mut self, matches: &[PatternMatch]) {
+        self.update_round_weighted(matches, 1.0);
+    }
+
+    /// Applies one round of pattern matches under a given delivery
+    /// quality.
+    ///
+    /// Below [`TrustParams::freeze_quality`] the round is discarded whole
+    /// — with a starved symptom stream, neither the matches (built on
+    /// fragmentary evidence) nor the quiet (blindness, not health) are
+    /// actionable. Above the threshold, decay applies as usual (the
+    /// engine already scales match confidence by quality) and recovery is
+    /// scaled by quality: partial evidence earns partial recovery.
+    pub fn update_round_weighted(&mut self, matches: &[PatternMatch], quality: f64) {
+        let q = quality.clamp(0.0, 1.0);
+        if q < self.params.freeze_quality {
+            self.frozen_rounds += 1;
+            return;
+        }
         for m in matches {
             let entry = self.trust.entry(m.fru).or_insert(1.0);
             let hit = self.params.decay_weight * m.confidence * class_severity(m.class);
             *entry *= 1.0 - hit.clamp(0.0, 1.0);
         }
         for t in self.trust.values_mut() {
-            *t += self.params.recovery_per_round * (1.0 - *t);
+            *t += self.params.recovery_per_round * q * (1.0 - *t);
             *t = t.clamp(0.0, 1.0);
         }
+    }
+
+    /// Rounds discarded by the delivery-quality freeze.
+    pub fn frozen_rounds(&self) -> u64 {
+        self.frozen_rounds
     }
 }
 
@@ -154,6 +192,44 @@ mod tests {
             "trajectory A must keep degrading: {}",
             a.trust(FruRef::Component(NodeId(1)))
         );
+    }
+
+    #[test]
+    fn starved_network_freezes_trust_instead_of_recovering_it() {
+        let mut a = FruAssessor::new(TrustParams::default());
+        // Establish degraded trust with good evidence flow.
+        for _ in 0..100 {
+            a.update_round(&[m(FaultClass::ComponentInternal, 0.9)]);
+        }
+        let degraded = a.trust(FruRef::Component(NodeId(1)));
+        assert!(degraded < 0.5);
+        // Then the diagnostic path starves: 2000 rounds of near-zero
+        // quality must not read as 2000 quiet (healthy) rounds.
+        for _ in 0..2000 {
+            a.update_round_weighted(&[], 0.0);
+        }
+        assert_eq!(a.trust(FruRef::Component(NodeId(1))), degraded, "trust must freeze");
+        assert_eq!(a.frozen_rounds(), 2000);
+        // With the path restored, recovery resumes.
+        for _ in 0..2000 {
+            a.update_round_weighted(&[], 1.0);
+        }
+        assert!(a.trust(FruRef::Component(NodeId(1))) > degraded);
+    }
+
+    #[test]
+    fn partial_quality_slows_recovery() {
+        let run = |q: f64| {
+            let mut a = FruAssessor::new(TrustParams::default());
+            for _ in 0..50 {
+                a.update_round(&[m(FaultClass::ComponentInternal, 0.9)]);
+            }
+            for _ in 0..1000 {
+                a.update_round_weighted(&[], q);
+            }
+            a.trust(FruRef::Component(NodeId(1)))
+        };
+        assert!(run(0.5) < run(1.0), "half-quality evidence must earn less recovery");
     }
 
     #[test]

@@ -144,6 +144,66 @@ pub fn software_campaign(job: JobId, heisen: bool) -> Vec<FaultSpec> {
     vec![FaultSpec { id: 1, kind, target: FruRef::Job(job), onset: SimTime::ZERO }]
 }
 
+/// Degradation of the diagnostic path itself: symptom-frame loss and/or
+/// bit corruption on the encapsulated diagnostic network, optionally with a
+/// store-and-forward delay. Rates of 0 disable the respective kind, so the
+/// same builder drives the whole 0→100 % degradation sweep.
+pub fn diag_degradation_campaign(
+    loss_prob: f64,
+    corrupt_prob: f64,
+    delay_rounds: u32,
+) -> Vec<FaultSpec> {
+    let mut next = ids();
+    let mut v = Vec::new();
+    if loss_prob > 0.0 {
+        v.push(FaultSpec {
+            id: next() + 900,
+            kind: FaultKind::DiagFrameLoss { loss_prob },
+            target: FruRef::Component(NodeId(0)),
+            onset: SimTime::ZERO,
+        });
+    }
+    if corrupt_prob > 0.0 {
+        v.push(FaultSpec {
+            id: next() + 900,
+            kind: FaultKind::DiagFrameCorruption { corrupt_prob },
+            target: FruRef::Component(NodeId(0)),
+            onset: SimTime::ZERO,
+        });
+    }
+    if delay_rounds > 0 {
+        v.push(FaultSpec {
+            id: next() + 900,
+            kind: FaultKind::DiagFrameDelay { delay_rounds },
+            target: FruRef::Component(NodeId(0)),
+            onset: SimTime::ZERO,
+        });
+    }
+    v
+}
+
+/// A babbling observer: component `node` floods the diagnostic network with
+/// forged symptoms accusing its peers.
+pub fn babbling_observer_campaign(node: NodeId, forged_per_round: u32) -> Vec<FaultSpec> {
+    vec![FaultSpec {
+        id: 950,
+        kind: FaultKind::BabblingObserver { forged_per_round },
+        target: FruRef::Component(node),
+        onset: SimTime::ZERO,
+    }]
+}
+
+/// A crashing/restarting diagnostic component: episodic outages of the
+/// diagnostic DAS host, forcing cold-standby failovers.
+pub fn diag_crash_campaign(node: NodeId, rate_per_hour: f64, outage_ms: f64) -> Vec<FaultSpec> {
+    vec![FaultSpec {
+        id: 960,
+        kind: FaultKind::DiagComponentCrash { rate_per_hour, outage_ms },
+        target: FruRef::Component(node),
+        onset: SimTime::ZERO,
+    }]
+}
+
 /// A transducer fault in one job.
 pub fn sensor_campaign(job: JobId, kind: FaultKind) -> Vec<FaultSpec> {
     debug_assert!(matches!(

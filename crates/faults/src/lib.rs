@@ -15,5 +15,5 @@ pub mod campaign;
 pub mod injector;
 pub mod taxonomy;
 
-pub use injector::{ActivationLog, ActivationWindow, FaultEnvironment, FaultSpec};
+pub use injector::{ActivationLog, ActivationWindow, DiagDisturbance, FaultEnvironment, FaultSpec};
 pub use taxonomy::{FaultClass, FaultKind, FruRef, MaintenanceAction};

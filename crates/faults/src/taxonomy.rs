@@ -293,6 +293,49 @@ pub enum FaultKind {
     },
     /// Sensor dead (no readings).
     SensorDead,
+
+    // ----- diagnostic path ------------------------------------------------
+    //
+    // Faults of the diagnosis infrastructure itself: the encapsulated
+    // virtual diagnostic network (§II-D) and the diagnostic DAS. The
+    // monitor's verdicts are only trustworthy if the monitor's own failure
+    // modes are part of the fault model — these kinds close that loop.
+    /// Symptom frames are lost in transit on the diagnostic network
+    /// (continuous from onset; models a degraded diagnostic channel).
+    DiagFrameLoss {
+        /// Per-frame loss probability in `[0, 1]`.
+        loss_prob: f64,
+    },
+    /// Symptom frames suffer bit corruption in transit. The receiving
+    /// diagnostic DAS detects almost all of it by per-frame CRC; the rare
+    /// escapes carry mangled content and must be caught by plausibility
+    /// screening.
+    DiagFrameCorruption {
+        /// Per-frame corruption probability in `[0, 1]`.
+        corrupt_prob: f64,
+    },
+    /// Symptom frames are delayed by the diagnostic network's
+    /// store-and-forward path and overtaken by fresher frames (reordering).
+    DiagFrameDelay {
+        /// Delivery delay in whole TDMA rounds.
+        delay_rounds: u32,
+    },
+    /// A babbling observer: the target component floods the diagnostic
+    /// network with forged symptoms accusing other FRUs (the
+    /// babbling-idiot failure mode applied to the symptom publisher).
+    BabblingObserver {
+        /// Forged symptom frames injected per TDMA round.
+        forged_per_round: u32,
+    },
+    /// The component hosting the diagnostic DAS crashes episodically and
+    /// restarts; during the outage no symptoms are consumed and the
+    /// cold-standby replica must take over with a bounded state resync.
+    DiagComponentCrash {
+        /// Crash episode rate per hour.
+        rate_per_hour: f64,
+        /// Mean outage duration, ms.
+        outage_ms: f64,
+    },
 }
 
 impl FaultKind {
@@ -320,6 +363,16 @@ impl FaultKind {
             | FaultKind::SensorDrift { .. }
             | FaultKind::SensorNoise { .. }
             | FaultKind::SensorDead => FaultClass::JobInherentTransducer,
+            // Diagnostic-path transport disturbances originate outside the
+            // affected component's boundary (channel-level, transient) …
+            FaultKind::DiagFrameLoss { .. }
+            | FaultKind::DiagFrameCorruption { .. }
+            | FaultKind::DiagFrameDelay { .. } => FaultClass::ComponentExternal,
+            // … while a babbling symptom publisher or a crashing diagnostic
+            // host is a defect of the component itself.
+            FaultKind::BabblingObserver { .. } | FaultKind::DiagComponentCrash { .. } => {
+                FaultClass::ComponentInternal
+            }
         }
     }
 
@@ -345,7 +398,25 @@ impl FaultKind {
             FaultKind::SensorDrift { .. } => "sensor-drift",
             FaultKind::SensorNoise { .. } => "sensor-noise",
             FaultKind::SensorDead => "sensor-dead",
+            FaultKind::DiagFrameLoss { .. } => "diag-frame-loss",
+            FaultKind::DiagFrameCorruption { .. } => "diag-frame-corruption",
+            FaultKind::DiagFrameDelay { .. } => "diag-frame-delay",
+            FaultKind::BabblingObserver { .. } => "babbling-observer",
+            FaultKind::DiagComponentCrash { .. } => "diag-component-crash",
         }
+    }
+
+    /// Whether this kind attacks the diagnostic path itself (transport or
+    /// diagnostic component) rather than the diagnosed application.
+    pub fn is_diag_path(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DiagFrameLoss { .. }
+                | FaultKind::DiagFrameCorruption { .. }
+                | FaultKind::DiagFrameDelay { .. }
+                | FaultKind::BabblingObserver { .. }
+                | FaultKind::DiagComponentCrash { .. }
+        )
     }
 }
 
@@ -424,10 +495,29 @@ mod tests {
             ),
             (FaultKind::SensorStuck { value: 0.0 }, JobInherentTransducer),
             (FaultKind::SensorDead, JobInherentTransducer),
+            (FaultKind::DiagFrameLoss { loss_prob: 0.5 }, ComponentExternal),
+            (FaultKind::DiagFrameCorruption { corrupt_prob: 0.5 }, ComponentExternal),
+            (FaultKind::DiagFrameDelay { delay_rounds: 3 }, ComponentExternal),
+            (FaultKind::BabblingObserver { forged_per_round: 100 }, ComponentInternal),
+            (
+                FaultKind::DiagComponentCrash { rate_per_hour: 1.0, outage_ms: 40.0 },
+                ComponentInternal,
+            ),
         ];
         for (kind, class) in cases {
             assert_eq!(kind.class(), class, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn diag_path_predicate_selects_only_diag_kinds() {
+        assert!(FaultKind::DiagFrameLoss { loss_prob: 1.0 }.is_diag_path());
+        assert!(FaultKind::DiagFrameCorruption { corrupt_prob: 1.0 }.is_diag_path());
+        assert!(FaultKind::DiagFrameDelay { delay_rounds: 1 }.is_diag_path());
+        assert!(FaultKind::BabblingObserver { forged_per_round: 1 }.is_diag_path());
+        assert!(FaultKind::DiagComponentCrash { rate_per_hour: 1.0, outage_ms: 1.0 }.is_diag_path());
+        assert!(!FaultKind::CosmicRaySeu { rate_per_hour: 1.0 }.is_diag_path());
+        assert!(!FaultKind::SensorDead.is_diag_path());
     }
 
     #[test]

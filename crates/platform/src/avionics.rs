@@ -296,6 +296,7 @@ pub fn avionics_spec() -> ClusterSpec {
         membership: MembershipParams::default(),
         lattice_granule: SimDuration::from_millis(1),
         precision_ns: 2_000,
+        diag_net: crate::cluster::DiagNetSpec::default(),
     }
 }
 

@@ -40,6 +40,39 @@ pub struct DasSpec {
     pub criticality: Criticality,
 }
 
+/// Static configuration of the encapsulated virtual diagnostic network
+/// (§II-D): the bandwidth share reserved for symptom dissemination and the
+/// depth of the store-and-forward queue in front of the diagnostic DAS.
+///
+/// Validated by [`ClusterSpec::structural_errors`]: the capacity must be
+/// positive and the queue must hold at least one round's worth of frames,
+/// otherwise [`SpecError::InvalidDiagNet`] is reported (and surfaced as an
+/// analyzer diagnostic rather than a runtime panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiagNetSpec {
+    /// Symptom frames the diagnostic network forwards per TDMA round.
+    pub capacity_per_round: u32,
+    /// Store-and-forward queue depth (symptom frames).
+    pub queue_depth: u32,
+}
+
+impl Default for DiagNetSpec {
+    fn default() -> Self {
+        // One frame per slot of a generously dimensioned round, with an
+        // eight-round backlog — the defaults the diagnosis layer has always
+        // used, now named instead of magic.
+        DiagNetSpec { capacity_per_round: 64, queue_depth: 512 }
+    }
+}
+
+impl DiagNetSpec {
+    /// Whether the configuration is usable (positive capacity, queue at
+    /// least one round deep).
+    pub fn is_valid(&self) -> bool {
+        self.capacity_per_round > 0 && self.queue_depth >= self.capacity_per_round
+    }
+}
+
 /// Full static description of a cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
@@ -64,6 +97,9 @@ pub struct ClusterSpec {
     pub lattice_granule: SimDuration,
     /// Cluster precision bound (sync-loss threshold), ns.
     pub precision_ns: u64,
+    /// Encapsulated diagnostic-network dimensioning (the default preserves
+    /// the historical `generous()` numbers).
+    pub diag_net: DiagNetSpec,
 }
 
 /// Specification errors caught at cluster construction.
@@ -85,6 +121,9 @@ pub enum SpecError {
     CriticalityMismatch(JobId),
     /// Duplicate job id.
     DuplicateJob(JobId),
+    /// Diagnostic-network dimensioning is unusable (zero capacity, or a
+    /// queue shallower than one round of frames).
+    InvalidDiagNet,
 }
 
 impl ClusterSpec {
@@ -108,6 +147,9 @@ impl ClusterSpec {
         }
         if self.components.iter().enumerate().any(|(i, c)| c.node.0 as usize != i) {
             errors.push(SpecError::NonContiguousNodeIds);
+        }
+        if !self.diag_net.is_valid() {
+            errors.push(SpecError::InvalidDiagNet);
         }
         let das_ids: BTreeMap<DasId, Criticality> =
             self.dases.iter().map(|d| (d.id, d.criticality)).collect();

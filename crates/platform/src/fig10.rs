@@ -297,6 +297,7 @@ pub fn reference_spec() -> ClusterSpec {
         membership: MembershipParams::default(),
         lattice_granule: SimDuration::from_millis(1),
         precision_ns: 2_000,
+        diag_net: crate::cluster::DiagNetSpec::default(),
     }
 }
 

@@ -36,7 +36,7 @@ pub mod tmr;
 pub mod transducer;
 
 pub use cluster::{
-    ClusterSim, ClusterSpec, DasSpec, ObsKind, OverflowDelta, SlotRecord, SpecError,
+    ClusterSim, ClusterSpec, DasSpec, DiagNetSpec, ObsKind, OverflowDelta, SlotRecord, SpecError,
 };
 pub use component::{ComponentSpec, ComponentState, Power};
 pub use env::{ComponentDirective, Environment, NullEnvironment, TxDisturbance};

@@ -5,9 +5,19 @@
 //! cargo run --release -p decos-bench --bin repro -- e5-bathtub --json
 //! cargo run --release -p decos-bench --bin repro -- e9-actions --effort 0.2
 //! ```
+//!
+//! Telemetry sinks (DESIGN.md §11):
+//!
+//! ```sh
+//! # Emit BENCH_fleet.json + BENCH_slot.json (exits 1 if same-seed
+//! # counter snapshots disagree — the CI determinism gate).
+//! cargo run --release -p decos-bench --bin repro -- --telemetry
+//! # Stream a per-round JSONL trace of a reference campaign.
+//! cargo run --release -p decos-bench --bin repro -- --trace trace.jsonl
+//! ```
 
 use decos_bench::experiments as exp;
-use decos_bench::Effort;
+use decos_bench::{perf, Effort};
 
 const IDS: &[&str] = &[
     "e1-architecture",
@@ -38,6 +48,8 @@ fn run_one(id: &str, effort: Effort, json: bool) {
         }};
     }
     match id {
+        "bench-fleet" => run_bench(perf::bench_fleet(effort), "BENCH_fleet.json"),
+        "bench-slot" => run_bench(perf::bench_slot(effort), "BENCH_slot.json"),
         "e1-architecture" => emit!(exp::e1_architecture()),
         "e2-taxonomy" => emit!(exp::e2_taxonomy(effort)),
         "e3-component" => emit!(exp::e3_component(effort)),
@@ -59,6 +71,54 @@ fn run_one(id: &str, effort: Effort, json: bool) {
     }
 }
 
+/// Runs one BENCH shape: writes the report, prints the headline, and exits
+/// nonzero when the same-seed double run was not counter-deterministic.
+fn run_bench(report: perf::BenchReport, path: &str) {
+    perf::write_report(&report, path).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{path}: {:.0} slots/sec{} deterministic={}",
+        report.slots_per_sec,
+        if report.vehicles_per_sec > 0.0 {
+            format!(", {:.2} vehicles/sec", report.vehicles_per_sec)
+        } else {
+            String::new()
+        },
+        report.deterministic
+    );
+    if !report.deterministic {
+        eprintln!("FAIL: same-seed runs produced different counter snapshots");
+        std::process::exit(1);
+    }
+}
+
+/// Streams a per-round JSONL trace of the reference connector campaign.
+fn run_trace(path: &str, effort: Effort) {
+    use decos::prelude::*;
+    let rounds = effort.scale(2_000);
+    let c = Campaign::reference(
+        decos::faults::campaign::connector_campaign(NodeId(2), 800.0),
+        10.0,
+        rounds,
+        2026,
+    );
+    match perf::traced_campaign(&c, path) {
+        Ok(out) => {
+            let snap = out.telemetry.expect("telemetry on");
+            println!(
+                "{path}: {rounds} rows, fingerprint {} chars",
+                snap.counter_fingerprint().len()
+            );
+        }
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
@@ -69,14 +129,34 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok())
         .map(Effort)
         .unwrap_or(Effort(1.0));
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    let trace = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
     let ids: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
-        .map(|s| s.as_str())
+        .enumerate()
+        .filter(|(i, a)| {
+            // Skip flags and flag values (--effort 0.2, --trace out.jsonl).
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--effort" && p != "--trace")
+        })
+        .map(|(_, s)| s.as_str())
         .collect();
+    if telemetry {
+        // Shorthand for both BENCH emitters.
+        run_bench(perf::bench_fleet(effort), "BENCH_fleet.json");
+        run_bench(perf::bench_slot(effort), "BENCH_slot.json");
+    }
+    if let Some(path) = &trace {
+        run_trace(path, effort);
+    }
     if ids.is_empty() {
-        eprintln!("usage: repro <experiment|all> [--json] [--effort <f>]");
-        eprintln!("experiments: {IDS:?}");
+        if telemetry || trace.is_some() {
+            return;
+        }
+        eprintln!(
+            "usage: repro <experiment|all> [--json] [--effort <f>] [--telemetry] [--trace <path>]"
+        );
+        eprintln!("experiments: {IDS:?} plus bench-fleet, bench-slot");
         std::process::exit(2);
     }
     for id in ids {

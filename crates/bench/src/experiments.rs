@@ -23,7 +23,8 @@ use std::fmt::Write as _;
 pub struct Effort(pub f64);
 
 impl Effort {
-    fn scale(&self, n: u64) -> u64 {
+    /// Scales a nominal workload size by the effort factor (min 1).
+    pub fn scale(&self, n: u64) -> u64 {
         ((n as f64 * self.0).round() as u64).max(1)
     }
 }

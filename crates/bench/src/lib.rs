@@ -5,5 +5,7 @@
 //! Criterion benches live under `benches/`.
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::Effort;
+pub use perf::{bench_fleet, bench_slot, traced_campaign, write_report, BenchReport, TraceWriter};

@@ -1,0 +1,345 @@
+//! Performance sinks for the telemetry layer: `BENCH_*.json` emitters and
+//! the per-round JSONL trace writer.
+//!
+//! Two benchmark shapes track the repo's perf trajectory:
+//!
+//! * [`bench_fleet`] — the rayon-parallel fleet driver end to end
+//!   (vehicles/sec, slots/sec), written to `BENCH_fleet.json`;
+//! * [`bench_slot`] — a single campaign through the full slot pipeline
+//!   (slots/sec plus per-phase p50/p99), written to `BENCH_slot.json`.
+//!
+//! Both run their workload **twice with the same seed** and record whether
+//! the two telemetry counter fingerprints agree ([`BenchReport::deterministic`]).
+//! CI treats a mismatch as a hard failure: counters are part of the
+//! determinism contract, wall-time spans are not (DESIGN.md §11).
+//!
+//! The [`TraceWriter`] is the third sink: one JSON object per TDMA round
+//! with the *cumulative* dissemination/engine counters, suitable for
+//! plotting a run's trajectory or diffing two runs row by row.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use decos::prelude::*;
+use serde::Serialize;
+
+use crate::Effort;
+
+/// Schema tag for `BENCH_fleet.json`.
+pub const FLEET_SCHEMA: &str = "decos-bench-fleet/1";
+/// Schema tag for `BENCH_slot.json`.
+pub const SLOT_SCHEMA: &str = "decos-bench-slot/1";
+/// Schema tag for each JSONL trace row.
+pub const TRACE_SCHEMA: &str = "decos-trace-round/1";
+
+/// Per-phase latency summary extracted from a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseQuantiles {
+    /// Phase name from the static registry (kernel, ttnet, detect, ...).
+    pub name: String,
+    /// Laps recorded.
+    pub count: u64,
+    /// Mean lap, nanoseconds.
+    pub mean_ns: f64,
+    /// Median lap (log₂-bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile lap (log₂-bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+    /// Worst lap, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// One `BENCH_*.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Schema tag ([`FLEET_SCHEMA`] or [`SLOT_SCHEMA`]).
+    pub schema: String,
+    /// Workload shape, human-readable (vehicles/rounds/accel/seed).
+    pub workload: String,
+    /// Effort multiplier the workload was scaled by.
+    pub effort: f64,
+    /// Wall-clock seconds of the measured (second) run.
+    pub wall_secs: f64,
+    /// Vehicles completed per wall-clock second (fleet shape only; 0 for
+    /// the slot shape).
+    pub vehicles_per_sec: f64,
+    /// Pipeline slots stepped per wall-clock second.
+    pub slots_per_sec: f64,
+    /// Whether two same-seed runs produced byte-identical counter
+    /// fingerprints. CI fails the build when false.
+    pub deterministic: bool,
+    /// Canonical `name=value;` counter/gauge fingerprint of the run.
+    pub counter_fingerprint: String,
+    /// Per-phase wall-time quantiles (timing fields — *not* part of the
+    /// determinism contract).
+    pub phases: Vec<PhaseQuantiles>,
+    /// The full telemetry snapshot of the measured run.
+    pub telemetry: TelemetrySnapshot,
+}
+
+fn phase_quantiles(snap: &TelemetrySnapshot) -> Vec<PhaseQuantiles> {
+    snap.phases
+        .iter()
+        .map(|p| PhaseQuantiles {
+            name: p.name.clone(),
+            count: p.count,
+            mean_ns: p.mean_ns,
+            p50_ns: p.p50_ns,
+            p99_ns: p.p99_ns,
+            max_ns: p.max_ns,
+        })
+        .collect()
+}
+
+/// Benchmarks the fleet driver: two same-seed telemetry runs, timed on the
+/// second (warm) one.
+pub fn bench_fleet(effort: Effort) -> BenchReport {
+    let cfg = FleetConfig {
+        vehicles: effort.scale(24),
+        rounds: effort.scale(1_500),
+        accel: 10.0,
+        seed: 2026,
+    };
+    let opts = FleetOptions { telemetry: true, base_faults: Vec::new() };
+    let spec = fig10::reference_spec();
+    let params = EngineParams::default();
+    let first = run_fleet_configured(&spec, cfg, params, &opts).expect("fleet run");
+    let t0 = Instant::now();
+    let second = run_fleet_configured(&spec, cfg, params, &opts).expect("fleet run");
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let snap = second.telemetry.expect("telemetry on");
+    let fp_a = first.telemetry.expect("telemetry on").counter_fingerprint();
+    let fp_b = snap.counter_fingerprint();
+    let slots = snap.counter("slots_simulated").unwrap_or(0);
+    BenchReport {
+        schema: FLEET_SCHEMA.to_string(),
+        workload: format!(
+            "fleet vehicles={} rounds={} accel={} seed={}",
+            cfg.vehicles, cfg.rounds, cfg.accel, cfg.seed
+        ),
+        effort: effort.0,
+        wall_secs,
+        vehicles_per_sec: cfg.vehicles as f64 / wall_secs,
+        slots_per_sec: slots as f64 / wall_secs,
+        deterministic: fp_a == fp_b,
+        counter_fingerprint: fp_b,
+        phases: phase_quantiles(&snap),
+        telemetry: snap,
+    }
+}
+
+/// Benchmarks a single campaign through the full slot pipeline: two
+/// same-seed telemetry runs, timed on the second (warm) one.
+pub fn bench_slot(effort: Effort) -> BenchReport {
+    let rounds = effort.scale(4_000);
+    let c = Campaign::reference(
+        decos::faults::campaign::connector_campaign(NodeId(2), 800.0),
+        10.0,
+        rounds,
+        2026,
+    );
+    let opts = RunOptions { telemetry: true };
+    let run = |c: &Campaign| {
+        run_campaign_opts(c, EngineParams::default(), opts, &mut [], |_, _, _| {})
+            .expect("campaign run")
+    };
+    let first = run(&c);
+    let t0 = Instant::now();
+    let second = run(&c);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let snap = second.telemetry.expect("telemetry on");
+    let fp_a = first.telemetry.expect("telemetry on").counter_fingerprint();
+    let fp_b = snap.counter_fingerprint();
+    let slots = snap.counter("slots_simulated").unwrap_or(0);
+    BenchReport {
+        schema: SLOT_SCHEMA.to_string(),
+        workload: format!("campaign connector rounds={rounds} accel=10 seed=2026"),
+        effort: effort.0,
+        wall_secs,
+        vehicles_per_sec: 0.0,
+        slots_per_sec: slots as f64 / wall_secs,
+        deterministic: fp_a == fp_b,
+        counter_fingerprint: fp_b,
+        phases: phase_quantiles(&snap),
+        telemetry: snap,
+    }
+}
+
+/// Writes a [`BenchReport`] as pretty-printed JSON.
+pub fn write_report(report: &BenchReport, path: &str) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report).expect("serializable");
+    std::fs::write(path, json + "\n")
+}
+
+/// One cumulative-counter row of the JSONL trace (one per TDMA round).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceRow {
+    /// Schema tag ([`TRACE_SCHEMA`]).
+    pub schema: &'static str,
+    /// TDMA round index (0-based).
+    pub round: u64,
+    /// Simulated time at the end of the round, seconds.
+    pub t_secs: f64,
+    /// Symptoms offered so far.
+    pub offered: u64,
+    /// Symptoms delivered so far.
+    pub delivered: u64,
+    /// Symptoms dropped so far.
+    pub dropped: u64,
+    /// Frames discarded by CRC so far.
+    pub corrupted: u64,
+    /// Frames rejected by plausibility screening so far.
+    pub rejected: u64,
+    /// Frames that arrived late so far.
+    pub delayed: u64,
+    /// Frames flagged as forged so far.
+    pub forged_suspected: u64,
+    /// Running delivery quality of the diagnostic path.
+    pub quality: f64,
+    /// Diagnostic-component failovers so far.
+    pub failovers: u32,
+    /// Rounds with the diagnostic path fully down so far.
+    pub crashed_rounds: u64,
+    /// FRU-rounds spent with trust frozen so far.
+    pub frozen_rounds: u64,
+}
+
+/// Streams one [`TraceRow`] per round into a JSONL file.
+///
+/// Drive it from the [`run_campaign_with`] observer; rows are written on
+/// the last slot of every round. Counters are cumulative — diffing
+/// consecutive rows recovers per-round rates.
+pub struct TraceWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    rows: u64,
+}
+
+impl TraceWriter {
+    /// Creates (truncates) the trace file.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(Self { out: std::io::BufWriter::new(std::fs::File::create(path)?), rows: 0 })
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Observes one slot; writes a row when `rec` closes a round.
+    pub fn on_slot(
+        &mut self,
+        sim: &ClusterSim,
+        engine: &DiagnosticEngine,
+        rec: &decos::platform::SlotRecord,
+    ) {
+        let spr = sim.schedule().slots_per_round();
+        if rec.addr.slot.0 != spr - 1 {
+            return;
+        }
+        let stats = engine.dissemination_stats();
+        let row = TraceRow {
+            schema: TRACE_SCHEMA,
+            round: rec.addr.round,
+            t_secs: rec.start.as_secs_f64(),
+            offered: stats.offered,
+            delivered: stats.delivered,
+            dropped: stats.dropped,
+            corrupted: stats.corrupted,
+            rejected: stats.rejected,
+            delayed: stats.delayed,
+            forged_suspected: stats.forged_suspected,
+            quality: engine.delivery_quality(),
+            failovers: engine.failovers(),
+            crashed_rounds: engine.crashed_rounds(),
+            frozen_rounds: engine.frozen_rounds(),
+        };
+        let line = serde_json::to_string(&row).expect("serializable");
+        writeln!(self.out, "{line}").expect("trace write");
+        self.rows += 1;
+    }
+
+    /// Flushes the underlying file.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Runs a campaign with telemetry on and a JSONL trace streaming to
+/// `path`; returns the outcome (carrying the [`TelemetrySnapshot`]).
+pub fn traced_campaign(
+    c: &Campaign,
+    path: &str,
+) -> Result<CampaignOutcome, Box<dyn std::error::Error>> {
+    let mut writer = TraceWriter::create(path)?;
+    let opts = RunOptions { telemetry: true };
+    let out = run_campaign_opts(c, EngineParams::default(), opts, &mut [], |sim, engine, rec| {
+        writer.on_slot(sim, engine, rec);
+    })
+    .map_err(|e| format!("{e:?}"))?;
+    writer.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_bench_is_deterministic_and_fast_enough_to_test() {
+        let r = bench_slot(Effort(0.05));
+        assert!(r.deterministic, "same-seed counter fingerprints must agree");
+        assert!(r.slots_per_sec > 0.0);
+        assert_eq!(r.schema, SLOT_SCHEMA);
+        assert_eq!(r.phases.len(), 7, "all seven pipeline phases present");
+        assert!(r.phases.iter().all(|p| p.count > 0), "every phase was timed");
+    }
+
+    #[test]
+    fn fleet_bench_is_deterministic() {
+        let r = bench_fleet(Effort(0.05));
+        assert!(r.deterministic, "same-seed counter fingerprints must agree");
+        assert!(r.vehicles_per_sec > 0.0);
+        assert!(r.telemetry.counter("vehicles").unwrap() > 0);
+        assert_eq!(
+            r.telemetry.counter("slots_simulated").unwrap()
+                % r.telemetry.counter("vehicles").unwrap(),
+            0,
+            "every vehicle simulates the same slot count"
+        );
+    }
+
+    #[test]
+    fn trace_writer_emits_one_row_per_round() {
+        let dir = std::env::temp_dir().join("decos-perf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path = path.to_str().unwrap();
+        let rounds = 50;
+        let c = Campaign::reference(
+            decos::faults::campaign::connector_campaign(NodeId(2), 800.0),
+            10.0,
+            rounds,
+            7,
+        );
+        let out = traced_campaign(&c, path).unwrap();
+        assert!(out.telemetry.is_some());
+        let body = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len() as u64, rounds);
+        let mut prev_offered = 0;
+        let mut last_offered = 0;
+        for line in &lines {
+            let v = serde::value::parse_embedded(line).unwrap();
+            let entries = v.as_map().unwrap();
+            let schema = serde::value::field(entries, "schema").unwrap();
+            assert_eq!(schema.as_str().unwrap(), TRACE_SCHEMA);
+            let offered = serde::value::field(entries, "offered").unwrap().as_u64().unwrap();
+            assert!(offered >= prev_offered, "counters are cumulative");
+            prev_offered = offered;
+            last_offered = offered;
+        }
+        // The last row agrees with the final snapshot.
+        let snap = out.telemetry.unwrap();
+        assert_eq!(last_offered, snap.counter("symptoms_offered").unwrap());
+    }
+}

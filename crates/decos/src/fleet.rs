@@ -10,13 +10,14 @@
 //! each runs its own deterministic single-threaded simulation with a
 //! derived seed; aggregation is a rayon `map`/`reduce`.
 
-use crate::runner::{run_campaign_with_params, Campaign, CampaignError};
+use crate::runner::{run_campaign_opts, Campaign, CampaignError, RunOptions};
 use decos_analyzer::{analyze, ExperimentSpec};
 use decos_diagnosis::EngineParams;
 use decos_diagnosis::{score_case, ActionScore, ConfusionMatrix};
-use decos_faults::{FaultClass, FruRef, MaintenanceAction};
+use decos_faults::{FaultClass, FaultSpec, FruRef, MaintenanceAction};
 use decos_platform::ClusterSpec;
 use decos_sim::rng::SeedSource;
+use decos_sim::telemetry::{Counter, Gauge, TelemetrySnapshot};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -40,6 +41,19 @@ impl Default for FleetConfig {
     }
 }
 
+/// Optional behaviours of a fleet run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetOptions {
+    /// Collect pipeline telemetry per vehicle and attach the aggregated
+    /// [`TelemetrySnapshot`] to the [`FleetOutcome`]. Off by default.
+    pub telemetry: bool,
+    /// Faults injected into *every* vehicle on top of its sampled
+    /// ground-truth fault (e.g. a fleet-wide diagnostic-path defect).
+    /// Ids are remapped to avoid colliding with sampled fault ids; these
+    /// faults are not scored as ground truth.
+    pub base_faults: Vec<FaultSpec>,
+}
+
 /// One vehicle's scored outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VehicleOutcome {
@@ -55,6 +69,15 @@ pub struct VehicleOutcome {
     pub obd: ActionScore,
     /// Mean delivery quality of the vehicle's diagnostic path.
     pub delivery_quality: f64,
+    /// The engine's own degraded-path verdict (quality below threshold,
+    /// any failover, or a primary still down — see
+    /// `DiagnosticEngine::report`). The fleet aggregate counts *this*
+    /// flag, never a re-derived quality comparison.
+    pub degraded: bool,
+    /// Cold-standby failovers of the vehicle's diagnostic component.
+    pub failovers: u32,
+    /// Rounds lost to a crashed diagnostic component.
+    pub crashed_rounds: u64,
 }
 
 /// Aggregated fleet results.
@@ -73,8 +96,13 @@ pub struct FleetOutcome {
     /// Fleet-mean delivery quality of the diagnostic path (1.0 unless
     /// diagnostic-path faults were injected).
     pub mean_delivery_quality: f64,
-    /// Vehicles whose diagnostic path was flagged degraded.
+    /// Vehicles whose diagnostic path the engine flagged degraded
+    /// (carries failover-only and primary-down vehicles, not just those
+    /// below the quality threshold).
     pub degraded_vehicles: u64,
+    /// Aggregated pipeline telemetry ([`FleetOptions::telemetry`]);
+    /// `None` when off.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Runs a fleet and aggregates.
@@ -88,9 +116,20 @@ pub fn run_fleet_with_params(
     cfg: FleetConfig,
     params: EngineParams,
 ) -> Result<FleetOutcome, CampaignError> {
+    run_fleet_configured(spec, cfg, params, &FleetOptions::default())
+}
+
+/// Runs a fleet with explicit engine parameters and [`FleetOptions`]
+/// (telemetry, fleet-wide base faults).
+pub fn run_fleet_configured(
+    spec: &ClusterSpec,
+    cfg: FleetConfig,
+    params: EngineParams,
+    opts: &FleetOptions,
+) -> Result<FleetOutcome, CampaignError> {
     // Pre-flight: the base vehicle (before per-vehicle fault sampling)
     // must analyze clean, otherwise every vehicle would fail identically.
-    let mut base = ExperimentSpec::with_campaign(spec, &[], cfg.accel, cfg.rounds);
+    let mut base = ExperimentSpec::with_campaign(spec, &opts.base_faults, cfg.accel, cfg.rounds);
     base.ona = params.ona;
     base.trust = params.trust;
     let report = analyze(&base);
@@ -98,9 +137,9 @@ pub fn run_fleet_with_params(
         return Err(CampaignError::Rejected(report));
     }
     let seeds = SeedSource::new(cfg.seed);
-    let vehicles: Vec<VehicleOutcome> = (0..cfg.vehicles)
+    let results: Vec<(VehicleOutcome, Option<TelemetrySnapshot>)> = (0..cfg.vehicles)
         .into_par_iter()
-        .map(|v| run_vehicle(spec, cfg, seeds, v, params))
+        .map(|v| run_vehicle(spec, cfg, seeds, v, params, opts))
         .collect();
 
     let mut confusion = ConfusionMatrix::new();
@@ -108,16 +147,42 @@ pub fn run_fleet_with_params(
     let mut obd = ActionScore::default();
     let mut class_counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut quality_sum = 0.0;
-    for o in &vehicles {
+    let mut telemetry: Option<TelemetrySnapshot> = None;
+    let mut vehicles = Vec::with_capacity(results.len());
+    for (o, t) in results {
         confusion.record(o.truth_class, o.decos_class);
         decos.merge(&o.decos);
         obd.merge(&o.obd);
         *class_counts.entry(o.truth_class.to_string()).or_insert(0) += 1;
         quality_sum += o.delivery_quality;
+        if let Some(t) = t {
+            match telemetry.as_mut() {
+                Some(agg) => agg.merge(&t),
+                None => telemetry = Some(t),
+            }
+        }
+        vehicles.push(o);
     }
     let mean_delivery_quality =
         if vehicles.is_empty() { 1.0 } else { quality_sum / vehicles.len() as f64 };
-    let degraded_vehicles = vehicles.iter().filter(|o| o.delivery_quality < 0.9).count() as u64;
+    // The engine already folds quality, failovers and primary-down into
+    // its own `degraded` verdict; counting `delivery_quality < threshold`
+    // here would silently drop failover-only vehicles (the historical
+    // undercount this field regressed on).
+    let degraded_vehicles = vehicles.iter().filter(|o| o.degraded).count() as u64;
+    if let Some(agg) = telemetry.as_mut() {
+        // Per-vehicle snapshots already summed `vehicles` / `degraded`;
+        // gauges don't sum, so re-derive them at fleet scope.
+        debug_assert_eq!(agg.counter(Counter::Vehicles.name()), Some(cfg.vehicles));
+        debug_assert_eq!(agg.counter(Counter::DegradedVehicles.name()), Some(degraded_vehicles));
+        for g in agg.gauges.iter_mut() {
+            if g.name == Gauge::DeliveryQuality.name() {
+                g.value = mean_delivery_quality;
+            } else if g.name == Gauge::NffRatio.name() {
+                g.value = decos.nff_ratio();
+            }
+        }
+    }
     Ok(FleetOutcome {
         vehicles,
         confusion,
@@ -126,6 +191,7 @@ pub fn run_fleet_with_params(
         class_counts,
         mean_delivery_quality,
         degraded_vehicles,
+        telemetry,
     })
 }
 
@@ -135,10 +201,25 @@ fn run_vehicle(
     seeds: SeedSource,
     index: u64,
     params: EngineParams,
-) -> VehicleOutcome {
-    let (vspec, faults) = decos_faults::campaign::sample_mixed_fault(spec, seeds, index);
+    opts: &FleetOptions,
+) -> (VehicleOutcome, Option<TelemetrySnapshot>) {
+    let (vspec, mut faults) = decos_faults::campaign::sample_mixed_fault(spec, seeds, index);
+    // Primary-fault convention (asserted on `sample_mixed_fault`): every
+    // sampled spec in the vec manifests the *same* ground-truth defect —
+    // one FRU, one class — so scoring against `faults[0]` is scoring
+    // against the full truth set.
     let truth_fru = faults[0].target;
     let truth_class = faults[0].class();
+    // Fleet-wide base faults ride along without disturbing sampled ids
+    // (duplicate fault ids are an analyzer error) and without entering the
+    // scored ground truth.
+    let base_id = faults.iter().map(|f| f.id).max().unwrap_or(0) + 9000;
+    faults.extend(
+        opts.base_faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FaultSpec { id: base_id + i as u32, ..f.clone() }),
+    );
     let campaign = Campaign {
         spec: vspec,
         faults,
@@ -146,7 +227,8 @@ fn run_vehicle(
         rounds: cfg.rounds,
         seed: seeds.child(index).master(),
     };
-    let out = run_campaign_with_params(&campaign, params, |_, _, _| {})
+    let run_opts = RunOptions { telemetry: opts.telemetry };
+    let out = run_campaign_opts(&campaign, params, run_opts, &mut [], |_, _, _| {})
         .expect("sampled campaign passes the pre-flight analysis");
 
     let decos_actions = out.report.actions();
@@ -158,14 +240,20 @@ fn run_vehicle(
         .map(|n| (FruRef::Component(*n), MaintenanceAction::ReplaceComponent))
         .collect();
 
-    VehicleOutcome {
-        truth_class,
-        truth_fru,
-        decos_class,
-        decos: score_case(truth_fru, truth_class, &decos_actions),
-        obd: score_case(truth_fru, truth_class, &obd_actions),
-        delivery_quality: out.report.delivery_quality,
-    }
+    (
+        VehicleOutcome {
+            truth_class,
+            truth_fru,
+            decos_class,
+            decos: score_case(truth_fru, truth_class, &decos_actions),
+            obd: score_case(truth_fru, truth_class, &obd_actions),
+            delivery_quality: out.report.delivery_quality,
+            degraded: out.report.degraded,
+            failovers: out.report.failovers,
+            crashed_rounds: out.report.crashed_rounds,
+        },
+        out.telemetry,
+    )
 }
 
 #[cfg(test)]
@@ -184,6 +272,20 @@ mod tests {
         assert!(!out.class_counts.is_empty());
         assert_eq!(out.mean_delivery_quality, 1.0, "no diag-path faults sampled");
         assert_eq!(out.degraded_vehicles, 0);
+        assert!(out.telemetry.is_none(), "telemetry must be off by default");
+    }
+
+    #[test]
+    fn empty_fleet_is_well_defined() {
+        let cfg = FleetConfig { vehicles: 0, rounds: 1200, accel: 10.0, seed: 77 };
+        let out = run_fleet(&fig10::reference_spec(), cfg).unwrap();
+        assert!(out.vehicles.is_empty());
+        assert_eq!(out.decos.cases, 0);
+        assert_eq!(out.confusion.total(), 0);
+        assert!(out.class_counts.is_empty());
+        assert_eq!(out.mean_delivery_quality, 1.0, "empty fleet must not NaN");
+        assert_eq!(out.degraded_vehicles, 0);
+        assert_eq!(out.decos.nff_ratio(), 0.0);
     }
 
     #[test]
@@ -191,11 +293,24 @@ mod tests {
         let cfg = FleetConfig { vehicles: 6, rounds: 800, accel: 10.0, seed: 5 };
         let a = run_fleet(&fig10::reference_spec(), cfg).unwrap();
         let b = run_fleet(&fig10::reference_spec(), cfg).unwrap();
+        // Equal lengths first: a zip would silently mask a truncated run.
+        assert_eq!(a.vehicles.len(), b.vehicles.len());
         for (x, y) in a.vehicles.iter().zip(&b.vehicles) {
             assert_eq!(x.truth_class, y.truth_class);
+            assert_eq!(x.truth_fru, y.truth_fru);
             assert_eq!(x.decos_class, y.decos_class);
             assert_eq!(x.decos, y.decos);
             assert_eq!(x.obd, y.obd);
+            assert_eq!(x.delivery_quality, y.delivery_quality);
+            assert_eq!(x.degraded, y.degraded);
+            assert_eq!(x.failovers, y.failovers);
+            assert_eq!(x.crashed_rounds, y.crashed_rounds);
         }
+        assert_eq!(a.confusion, b.confusion);
+        assert_eq!(a.decos, b.decos);
+        assert_eq!(a.obd, b.obd);
+        assert_eq!(a.class_counts, b.class_counts);
+        assert_eq!(a.mean_delivery_quality, b.mean_delivery_quality);
+        assert_eq!(a.degraded_vehicles, b.degraded_vehicles);
     }
 }

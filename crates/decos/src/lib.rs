@@ -59,21 +59,26 @@ pub mod workshop;
 
 /// The working set most users need.
 pub mod prelude {
-    pub use crate::fleet::{run_fleet, run_fleet_with_params, FleetConfig, FleetOutcome};
+    pub use crate::fleet::{
+        run_fleet, run_fleet_configured, run_fleet_with_params, FleetConfig, FleetOptions,
+        FleetOutcome, VehicleOutcome,
+    };
     pub use crate::runner::{
-        run_campaign, run_campaign_observed, run_campaign_with, run_campaign_with_params,
-        trust_trajectories, Campaign, CampaignError, CampaignOutcome, TrustSeries,
+        run_campaign, run_campaign_observed, run_campaign_opts, run_campaign_with,
+        run_campaign_with_params, trust_trajectories, Campaign, CampaignError, CampaignOutcome,
+        RunOptions, TrustSeries,
     };
     pub use crate::workshop::{service_loop, CostModel, ServiceHistory, ServiceVisit, Strategy};
     pub use decos_analyzer::{analyze, AnalysisReport, DiagCode, ExperimentSpec, Severity};
     pub use decos_diagnosis::{
         DiagnosticEngine, DiagnosticReport, EngineParams, FruVerdict, ObdDiagnosis, ObdParams,
-        ObdReport,
+        ObdReport, DEGRADED_QUALITY_THRESHOLD,
     };
     pub use decos_faults::{FaultClass, FaultKind, FaultSpec, FruRef, MaintenanceAction};
     pub use decos_platform::fig10;
     pub use decos_platform::{
         ClusterSim, ClusterSpec, JobId, NodeId, ObserverFn, Position, SlotMetrics, SlotObserver,
     };
+    pub use decos_sim::telemetry::TelemetrySnapshot;
     pub use decos_sim::{SimDuration, SimTime};
 }

@@ -14,6 +14,7 @@ use decos_diagnosis::{
 use decos_faults::{FaultEnvironment, FaultSpec, FruRef};
 use decos_platform::{ClusterSim, ClusterSpec, SlotObserver, SlotRecord, SpecError};
 use decos_sim::rng::SeedSource;
+use decos_sim::telemetry::{Counter, CounterSet, Gauge, GaugeSet, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Why a campaign refused to run.
@@ -96,6 +97,20 @@ pub struct CampaignOutcome {
     pub episodes: usize,
     /// Simulated horizon in seconds.
     pub sim_seconds: f64,
+    /// Pipeline telemetry ([`RunOptions::telemetry`]); `None` when off.
+    /// Counters and gauges are deterministic per seed; phase timings are
+    /// wall-clock and excluded from the determinism contract.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
+/// Optional behaviours of a campaign run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Collect registry-keyed counters and per-phase wall-time spans over
+    /// the whole slot pipeline and attach a [`TelemetrySnapshot`] to the
+    /// outcome. Off by default: uninstrumented runs never read the wall
+    /// clock and the steady-state loop stays allocation-free.
+    pub telemetry: bool,
 }
 
 /// Runs a campaign.
@@ -132,6 +147,19 @@ pub fn run_campaign_observed(
     c: &Campaign,
     params: EngineParams,
     extras: &mut [&mut dyn SlotObserver],
+    observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
+) -> Result<CampaignOutcome, CampaignError> {
+    run_campaign_opts(c, params, RunOptions::default(), extras, observe)
+}
+
+/// Runs a campaign with explicit [`RunOptions`] (telemetry opt-in) on top
+/// of the full observer stack of
+/// [`run_campaign_observed`](run_campaign_observed).
+pub fn run_campaign_opts(
+    c: &Campaign,
+    params: EngineParams,
+    opts: RunOptions,
+    extras: &mut [&mut dyn SlotObserver],
     mut observe: impl FnMut(&ClusterSim, &DiagnosticEngine, &SlotRecord),
 ) -> Result<CampaignOutcome, CampaignError> {
     // Static model check first: refuse to simulate an experiment whose
@@ -153,6 +181,10 @@ pub fn run_campaign_observed(
     let mut diag_seed = c.seed ^ 0xD1A6_0000_0000_0000;
     engine.reseed_diag(decos_sim::rng::splitmix64(&mut diag_seed));
     let mut obd = ObdDiagnosis::new(&sim, ObdParams::default());
+    if opts.telemetry {
+        sim.enable_telemetry();
+        engine.enable_telemetry();
+    }
 
     // Runtime mirrors of the statically checked invariants (debug builds
     // only): the records the observers consume must agree with the model
@@ -200,14 +232,52 @@ pub fn run_campaign_observed(
         observe(&sim, &engine, &rec);
     }
     let end = sim.now();
+    let report = engine.report();
+    let telemetry =
+        opts.telemetry.then(|| assemble_telemetry(&sim, &engine, &report, c.rounds, slots));
     Ok(CampaignOutcome {
-        report: engine.report(),
         obd: obd.report(end),
         dissemination: engine.dissemination_stats(),
         injected: c.faults.clone(),
         episodes: env.log().windows.len(),
         sim_seconds: end.as_secs_f64(),
+        telemetry,
+        report,
     })
+}
+
+/// Builds the campaign-level [`TelemetrySnapshot`]: the full counter
+/// registry filled from the engine's authoritative statistics, quality as
+/// a gauge, and the merged simulation + diagnosis phase spans.
+fn assemble_telemetry(
+    sim: &ClusterSim,
+    engine: &DiagnosticEngine,
+    report: &DiagnosticReport,
+    rounds: u64,
+    slots: u64,
+) -> TelemetrySnapshot {
+    let stats = engine.dissemination_stats();
+    let mut counters = CounterSet::new();
+    counters.set(Counter::SlotsSimulated, slots);
+    counters.set(Counter::RoundsSimulated, rounds);
+    counters.set(Counter::SymptomsOffered, stats.offered);
+    counters.set(Counter::SymptomsDelivered, stats.delivered);
+    counters.set(Counter::SymptomsDropped, stats.dropped);
+    counters.set(Counter::FramesCorrupted, stats.corrupted);
+    counters.set(Counter::FramesRejected, stats.rejected);
+    counters.set(Counter::FramesDelayed, stats.delayed);
+    counters.set(Counter::FramesForgedSuspected, stats.forged_suspected);
+    counters.set(Counter::OnaMatches, engine.ona_matches());
+    counters.set(Counter::TrustFrozenRounds, engine.frozen_rounds());
+    counters.set(Counter::Failovers, u64::from(engine.failovers()));
+    counters.set(Counter::CrashedRounds, engine.crashed_rounds());
+    counters.set(Counter::Vehicles, 1);
+    counters.set(Counter::DegradedVehicles, u64::from(report.degraded));
+    let mut gauges = GaugeSet::new();
+    gauges.set(Gauge::DeliveryQuality, report.delivery_quality);
+    let mut spans = *sim.telemetry_spans();
+    spans.merge(engine.telemetry_spans());
+    TelemetrySnapshot::assemble(&counters, &gauges, &spans)
 }
 
 /// Per-FRU trust trajectory: `(seconds, trust)` samples per sampled FRU.

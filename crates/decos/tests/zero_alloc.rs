@@ -7,7 +7,9 @@
 //! judgement-window maps), then a measured stretch of rounds must leave the
 //! allocation counter untouched — the full pipeline (simulation step,
 //! integrated diagnostic engine, OBD baseline, metrics recorder) runs on
-//! reused buffers alone.
+//! reused buffers alone. The same stretch is then repeated with telemetry
+//! enabled: the instrumentation may read the clock but must not allocate
+//! either (all counters and histograms are fixed inline arrays).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -91,4 +93,30 @@ fn fault_free_steady_state_allocates_nothing() {
     );
     assert_eq!(metrics.rounds, 856);
     assert!(metrics.messages_sent > 0, "the cluster must actually be carrying traffic");
+
+    // Telemetry holds the same invariant when enabled: counters and phase
+    // spans live in fixed inline arrays, so instrumentation must add clock
+    // reads, never heap traffic.
+    sim.enable_telemetry();
+    engine.enable_telemetry();
+    run_rounds(64, &mut sim, &mut engine, &mut obd, &mut metrics, &mut rec);
+
+    let before = ALLOCATIONS.load(Relaxed);
+    run_rounds(256, &mut sim, &mut engine, &mut obd, &mut metrics, &mut rec);
+    let after = ALLOCATIONS.load(Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry-instrumented steady state must not allocate (got {} allocations)",
+        after - before
+    );
+    let spans = sim.telemetry_spans();
+    assert!(
+        decos::sim::telemetry::Phase::ALL
+            .iter()
+            .take(2) // ClusterSim times Kernel and TtNet; the engine owns the rest.
+            .all(|p| spans.stat(*p).count > 0),
+        "enabled spans must have recorded laps"
+    );
 }

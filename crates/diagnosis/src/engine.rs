@@ -15,7 +15,16 @@ use crate::symptom::{Subject, Symptom, SymptomKind};
 use crate::trust::{FruAssessor, TrustParams};
 use decos_faults::{DiagDisturbance, FruRef};
 use decos_platform::{ClusterSim, NodeId, SlotRecord, SpecError};
+use decos_sim::telemetry::{Phase, Spans};
 use decos_sim::time::SimDuration;
+
+/// Mean delivery quality below which the diagnostic path is reported
+/// degraded. The single source of truth for the `0.9` that used to be
+/// duplicated across the engine and the fleet aggregator: every reporting
+/// site must consume [`EngineParams::degraded_quality_threshold`] (which
+/// defaults to this) or the engine's own `report.degraded`, never re-derive
+/// the comparison.
+pub const DEGRADED_QUALITY_THRESHOLD: f64 = 0.9;
 
 /// Aggregate configuration of the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +45,9 @@ pub struct EngineParams {
     /// its peers after a failover; during the resync it runs at reduced
     /// quality.
     pub resync_rounds: u16,
+    /// Mean delivery quality below which the report flags the path
+    /// degraded (defaults to [`DEGRADED_QUALITY_THRESHOLD`]).
+    pub degraded_quality_threshold: f64,
 }
 
 impl Default for EngineParams {
@@ -48,6 +60,7 @@ impl Default for EngineParams {
             trend_window: SimDuration::from_millis(400),
             net_capacity_per_round: 64,
             resync_rounds: 8,
+            degraded_quality_threshold: DEGRADED_QUALITY_THRESHOLD,
         }
     }
 }
@@ -81,6 +94,12 @@ pub struct DiagnosticEngine {
     quality_sum: f64,
     quality_rounds: u64,
     last_quality: f64,
+    degraded_quality_threshold: f64,
+    /// Total ONA pattern matches produced over the campaign (telemetry).
+    ona_matches: u64,
+    /// Wall-time spans of the diagnostic half of the pipeline (detect →
+    /// dissemination → state → ONA → trust). Disabled by default.
+    spans: Spans,
 }
 
 impl DiagnosticEngine {
@@ -117,6 +136,9 @@ impl DiagnosticEngine {
             quality_sum: 0.0,
             quality_rounds: 0,
             last_quality: 1.0,
+            degraded_quality_threshold: params.degraded_quality_threshold,
+            ona_matches: 0,
+            spans: Spans::disabled(),
         })
     }
 
@@ -170,12 +192,15 @@ impl DiagnosticEngine {
 
     /// Observes one slot. Call for every record, in order.
     pub fn observe_slot(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
+        let mut mark = self.spans.begin();
         self.scratch.clear();
         self.detectors.detect(sim, rec, &mut self.scratch);
         if self.disturbance.babbler.is_some() {
             self.forge_babble(sim, rec);
         }
+        self.spans.lap(Phase::Detect, &mut mark);
         self.network.offer_disturbed(&self.scratch, &self.disturbance, Some(rec.start));
+        self.spans.lap(Phase::Dissemination, &mut mark);
         self.slot_in_round += 1;
         if self.slot_in_round >= self.slots_per_round {
             self.slot_in_round = 0;
@@ -206,6 +231,7 @@ impl DiagnosticEngine {
             self.resync_remaining = self.resync_rounds;
             self.state.forget_short_term(self.resync_rounds as usize);
         }
+        let mut mark = self.spans.begin();
         self.network.deliver_round_into(&mut self.delivered);
         let mut q = self.network.last_round_quality();
         let resyncing = self.resync_remaining > 0;
@@ -220,16 +246,21 @@ impl DiagnosticEngine {
         } else {
             self.last_quality = q;
         }
+        self.spans.lap(Phase::Dissemination, &mut mark);
         self.state.ingest_round_buf(now, &self.delivered);
+        self.spans.lap(Phase::State, &mut mark);
         self.bank.evaluate_round_into(now, &self.state, &mut self.matches_last_round);
+        self.ona_matches += self.matches_last_round.len() as u64;
         if q < 1.0 {
             // Matches built on a lossy stream carry less weight.
             for m in self.matches_last_round.iter_mut() {
                 m.confidence *= q;
             }
         }
+        self.spans.lap(Phase::Ona, &mut mark);
         self.trust.update_round_weighted(&self.matches_last_round, q);
         self.advisor.ingest(&self.matches_last_round);
+        self.spans.lap(Phase::Trust, &mut mark);
     }
 
     fn track_quality(&mut self, q: f64) {
@@ -294,14 +325,38 @@ impl DiagnosticEngine {
         self.trust.frozen_rounds()
     }
 
+    /// Total ONA pattern matches produced so far (telemetry).
+    pub fn ona_matches(&self) -> u64 {
+        self.ona_matches
+    }
+
+    /// Turns on per-phase wall-time telemetry for the diagnostic half of
+    /// the pipeline (detect → dissemination → state → ONA → trust). Off by
+    /// default so uninstrumented runs never read the wall clock.
+    pub fn enable_telemetry(&mut self) {
+        self.spans.enable();
+    }
+
+    /// The recorded diagnostic-side spans (empty unless
+    /// [`enable_telemetry`](DiagnosticEngine::enable_telemetry) was
+    /// called).
+    pub fn telemetry_spans(&self) -> &Spans {
+        &self.spans
+    }
+
     /// The campaign report, annotated with the health of the diagnostic
-    /// path itself.
+    /// path itself. `degraded` is the *only* place this judgement is made:
+    /// quality below the configured threshold, any failover, or a primary
+    /// still down — downstream aggregators must carry this flag instead of
+    /// re-deriving it from `delivery_quality` alone.
     pub fn report(&self) -> DiagnosticReport {
         let mut rep = self.advisor.report(&self.trust);
         rep.delivery_quality = self.delivery_quality();
         rep.failovers = self.failovers;
         rep.crashed_rounds = self.crashed_rounds;
-        rep.degraded = rep.delivery_quality < 0.9 || self.failovers > 0 || self.primary_down;
+        rep.degraded = rep.delivery_quality < self.degraded_quality_threshold
+            || self.failovers > 0
+            || self.primary_down;
         rep
     }
 }

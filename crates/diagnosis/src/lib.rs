@@ -34,7 +34,7 @@ pub use advisor::{AdvisorParams, DiagnosticReport, FruVerdict, MaintenanceAdviso
 pub use baseline::{Dtc, ObdDiagnosis, ObdParams, ObdReport};
 pub use detectors::{DetectorParams, SymptomDetectors};
 pub use dissemination::{DiagnosticNetwork, DisseminationStats, PlausibilityScreen};
-pub use engine::{DiagnosticEngine, EngineParams};
+pub use engine::{DiagnosticEngine, EngineParams, DEGRADED_QUALITY_THRESHOLD};
 pub use metrics::{score_case, ActionScore, ConfusionMatrix, REMOVAL_COST_USD};
 pub use patterns::{OnaBank, OnaParams, PatternMatch};
 pub use state::{DistributedState, PairMatrix};

@@ -222,6 +222,16 @@ pub fn sensor_campaign(job: JobId, kind: FaultKind) -> Vec<FaultSpec> {
 ///
 /// Returns the fault list and, where the draw is a misconfiguration, the
 /// mutated spec.
+///
+/// ## Primary-fault convention
+///
+/// Fleet drivers label each vehicle's ground truth with `faults[0]` only.
+/// That label is loss-free because every sample drawn here is one root
+/// cause: when a draw yields multiple [`FaultSpec`]s (e.g. the wear-out
+/// campaign's solder-joint crack plus capacitor aging), all of them target
+/// the same FRU and share the same [`FaultClass`](crate::FaultClass) —
+/// they are manifestations of a single underlying defect, not independent
+/// faults. `primary_fault_convention_holds` pins this invariant.
 pub fn sample_mixed_fault(
     spec: &ClusterSpec,
     seeds: SeedSource,
@@ -331,6 +341,30 @@ mod tests {
         assert!(sensor_campaign(fig10::jobs::A1, FaultKind::SensorDead)
             .iter()
             .all(|f| f.class() == FaultClass::JobInherentTransducer));
+    }
+
+    #[test]
+    fn primary_fault_convention_holds() {
+        // `faults[0]` is a loss-free ground-truth label: every multi-fault
+        // sample shares one target FRU and one fault class.
+        let spec = fig10::reference_spec();
+        let seeds = SeedSource::new(77);
+        for index in 0..500 {
+            let (_, faults) = sample_mixed_fault(&spec, seeds, index);
+            assert!(!faults.is_empty(), "sample {index} drew no faults");
+            let primary = &faults[0];
+            for f in &faults[1..] {
+                assert_eq!(
+                    f.target, primary.target,
+                    "sample {index}: secondary fault targets a different FRU"
+                );
+                assert_eq!(
+                    f.class(),
+                    primary.class(),
+                    "sample {index}: secondary fault has a different class"
+                );
+            }
+        }
     }
 
     #[test]

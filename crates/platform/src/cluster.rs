@@ -18,6 +18,7 @@ use crate::ids::{Criticality, DasId, JobId, NodeId};
 use crate::job::{DispatchCtx, JobRuntime, JobSpec};
 use crate::lif::{derive_lif, PortLif};
 use decos_sim::rng::SeedSource;
+use decos_sim::telemetry::{Phase, Spans};
 use decos_sim::time::{SimDuration, SimTime};
 use decos_timebase::{fta_round_in_place, ActionLattice, SyncStatus};
 use decos_ttnet::{
@@ -396,6 +397,11 @@ pub struct ClusterSim {
     job_rngs: Vec<SmallRng>,
     round_len: SimDuration,
     scratch: StepScratch,
+    /// Wall-time spans of the simulation half of the pipeline (kernel and
+    /// time-triggered network). Disabled by default: the clock is never
+    /// read and the slot step stays bit-for-bit identical; see
+    /// [`enable_telemetry`](ClusterSim::enable_telemetry).
+    spans: Spans,
 }
 
 impl ClusterSim {
@@ -497,7 +503,21 @@ impl ClusterSim {
             job_rngs,
             round_len,
             scratch: StepScratch::default(),
+            spans: Spans::disabled(),
         })
+    }
+
+    /// Turns on per-phase wall-time telemetry for the simulation half of
+    /// the slot pipeline ([`Phase::Kernel`] and [`Phase::TtNet`]). Off by
+    /// default so uninstrumented runs never read the wall clock.
+    pub fn enable_telemetry(&mut self) {
+        self.spans.enable();
+    }
+
+    /// The recorded simulation-side spans (empty unless
+    /// [`enable_telemetry`](ClusterSim::enable_telemetry) was called).
+    pub fn telemetry_spans(&self) -> &Spans {
+        &self.spans
     }
 
     /// The cluster specification.
@@ -659,6 +679,7 @@ impl ClusterSim {
     /// calls (same RNG draw order; see
     /// `BroadcastBus::resolve_slot_into`).
     pub fn step_slot_into(&mut self, env: &mut dyn Environment, rec: &mut SlotRecord) {
+        let mut phase_mark = self.spans.begin();
         let addr = self.next;
         let t = self.schedule.start_of(addr);
         self.next = self.schedule.next(addr);
@@ -761,6 +782,7 @@ impl ClusterSim {
             tx_corrupt_bits = tx_dist.corrupt_bits;
         }
         rec.transmitted = transmitted;
+        self.spans.lap(Phase::Kernel, &mut phase_mark);
 
         // --- Channel ------------------------------------------------------
         scratch.rx_dist.clear();
@@ -837,6 +859,7 @@ impl ClusterSim {
         }
 
         self.scratch = scratch;
+        self.spans.lap(Phase::TtNet, &mut phase_mark);
     }
 
     /// Runs `n` whole rounds, feeding every record to `sink` (one reused

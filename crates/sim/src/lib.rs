@@ -10,7 +10,10 @@
 //! * [`rng`] — named, seeded random streams ([`SeedSource`]) so every
 //!   experiment is reproducible from one `u64` seed;
 //! * [`stats`] — allocation-free streaming statistics used by both the
-//!   workload generators and the diagnostic trend detectors.
+//!   workload generators and the diagnostic trend detectors;
+//! * [`telemetry`] — preallocated, registry-keyed counters/gauges and
+//!   per-phase wall-time spans for the slot pipeline (off by default;
+//!   see DESIGN.md §11).
 //!
 //! The kernel is deliberately single-threaded per run: determinism of a run
 //! outweighs intra-run parallelism. Fleet-scale experiments parallelise
@@ -19,8 +22,10 @@
 pub mod kernel;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use kernel::{Context, Engine, Model, Priority, RunOutcome, DEFAULT_PRIORITY};
 pub use rng::{SampleExt, SeedSource};
+pub use telemetry::{Counter, CounterSet, Gauge, GaugeSet, Phase, Spans, TelemetrySnapshot};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,682 @@
+//! Zero-allocation telemetry primitives for the slot pipeline.
+//!
+//! The paper's assessment process is a pipeline of observable evidence —
+//! symptoms, ONAs, fault patterns, trust. This module makes the pipeline
+//! itself observable: preallocated counters keyed by a static registry
+//! ([`Counter`]), gauges ([`Gauge`]), and per-phase wall-time spans with
+//! fixed log₂ histograms ([`Spans`]), all sized at compile time so the
+//! steady-state slot loop records into them without a single heap
+//! allocation.
+//!
+//! Telemetry is **off by default**: a disabled [`Spans`] never calls
+//! `Instant::now` and costs one branch per record site, so the
+//! counting-allocator regression and bit-for-bit determinism of
+//! uninstrumented runs are unaffected. When enabled, all *counter* and
+//! *gauge* values remain a pure function of the simulation seed — two
+//! same-seed runs produce byte-identical [`TelemetrySnapshot::counter_fingerprint`]s —
+//! while wall-time fields vary run to run and are excluded from the
+//! determinism contract.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Pipeline phases of the slot loop, in execution order.
+///
+/// `Kernel` and `TtNet` are timed by the cluster simulation (job dispatch
+/// vs. bus resolution + reception); the remaining phases are timed inside
+/// the diagnostic engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Simulation kernel: restarts, clock sync, job dispatch, sender side.
+    Kernel,
+    /// Time-triggered network: channel resolution and receiver side.
+    TtNet,
+    /// Symptom detection over the slot record.
+    Detect,
+    /// Diagnostic-network offer + round delivery.
+    Dissemination,
+    /// Distributed-state ingestion.
+    State,
+    /// ONA bank evaluation.
+    Ona,
+    /// Trust update and advisor ingestion.
+    Trust,
+}
+
+impl Phase {
+    /// All phases, pipeline order (the static registry).
+    pub const ALL: [Phase; 7] = [
+        Phase::Kernel,
+        Phase::TtNet,
+        Phase::Detect,
+        Phase::Dissemination,
+        Phase::State,
+        Phase::Ona,
+        Phase::Trust,
+    ];
+
+    /// Number of registered phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Kernel => "kernel",
+            Phase::TtNet => "ttnet",
+            Phase::Detect => "detect",
+            Phase::Dissemination => "dissemination",
+            Phase::State => "state",
+            Phase::Ona => "ona",
+            Phase::Trust => "trust",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The static counter registry. Every snapshot carries every counter, in
+/// this order, so snapshots merge positionally and fingerprints are
+/// directly comparable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// TDMA slots simulated.
+    SlotsSimulated,
+    /// TDMA rounds simulated.
+    RoundsSimulated,
+    /// Symptoms offered to the diagnostic network (detectors + forgeries).
+    SymptomsOffered,
+    /// Symptoms delivered to the diagnostic DAS.
+    SymptomsDelivered,
+    /// Symptoms dropped (bandwidth or transit loss).
+    SymptomsDropped,
+    /// Frames discarded by the per-frame CRC.
+    FramesCorrupted,
+    /// Frames rejected by plausibility screening.
+    FramesRejected,
+    /// Frames that arrived late through the delay line.
+    FramesDelayed,
+    /// Frames flagged by the rate screen as forged.
+    FramesForgedSuspected,
+    /// ONA pattern matches produced by the bank.
+    OnaMatches,
+    /// Rounds the trust assessor froze for lack of evidence flow.
+    TrustFrozenRounds,
+    /// Cold-standby failovers of the diagnostic component.
+    Failovers,
+    /// Rounds lost to a crashed diagnostic component.
+    CrashedRounds,
+    /// Vehicles simulated (1 for a single campaign).
+    Vehicles,
+    /// Vehicles whose diagnostic path the engine flagged degraded.
+    DegradedVehicles,
+}
+
+impl Counter {
+    /// All counters, registry order.
+    pub const ALL: [Counter; 15] = [
+        Counter::SlotsSimulated,
+        Counter::RoundsSimulated,
+        Counter::SymptomsOffered,
+        Counter::SymptomsDelivered,
+        Counter::SymptomsDropped,
+        Counter::FramesCorrupted,
+        Counter::FramesRejected,
+        Counter::FramesDelayed,
+        Counter::FramesForgedSuspected,
+        Counter::OnaMatches,
+        Counter::TrustFrozenRounds,
+        Counter::Failovers,
+        Counter::CrashedRounds,
+        Counter::Vehicles,
+        Counter::DegradedVehicles,
+    ];
+
+    /// Number of registered counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SlotsSimulated => "slots_simulated",
+            Counter::RoundsSimulated => "rounds_simulated",
+            Counter::SymptomsOffered => "symptoms_offered",
+            Counter::SymptomsDelivered => "symptoms_delivered",
+            Counter::SymptomsDropped => "symptoms_dropped",
+            Counter::FramesCorrupted => "frames_corrupted",
+            Counter::FramesRejected => "frames_rejected",
+            Counter::FramesDelayed => "frames_delayed",
+            Counter::FramesForgedSuspected => "frames_forged_suspected",
+            Counter::OnaMatches => "ona_matches",
+            Counter::TrustFrozenRounds => "trust_frozen_rounds",
+            Counter::Failovers => "failovers",
+            Counter::CrashedRounds => "crashed_rounds",
+            Counter::Vehicles => "vehicles",
+            Counter::DegradedVehicles => "degraded_vehicles",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The static gauge registry (deterministic floating-point observables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Mean delivery quality of the diagnostic path.
+    DeliveryQuality,
+    /// No-fault-found ratio of the integrated diagnosis (fleet scope).
+    NffRatio,
+}
+
+impl Gauge {
+    /// All gauges, registry order.
+    pub const ALL: [Gauge; 2] = [Gauge::DeliveryQuality, Gauge::NffRatio];
+
+    /// Number of registered gauges.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::DeliveryQuality => "delivery_quality",
+            Gauge::NffRatio => "nff_ratio",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Preallocated counter storage, one slot per [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSet {
+    vals: [u64; Counter::COUNT],
+}
+
+impl Default for CounterSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterSet {
+    /// All-zero counters.
+    pub const fn new() -> Self {
+        CounterSet { vals: [0; Counter::COUNT] }
+    }
+
+    /// Adds to one counter.
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.vals[c.index()] += n;
+    }
+
+    /// Overwrites one counter.
+    pub fn set(&mut self, c: Counter, n: u64) {
+        self.vals[c.index()] = n;
+    }
+
+    /// Reads one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c.index()]
+    }
+
+    /// Element-wise sum (fleet aggregation).
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            *a += b;
+        }
+    }
+}
+
+/// Preallocated gauge storage, one slot per [`Gauge`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeSet {
+    vals: [f64; Gauge::COUNT],
+}
+
+impl Default for GaugeSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GaugeSet {
+    /// All-zero gauges.
+    pub const fn new() -> Self {
+        GaugeSet { vals: [0.0; Gauge::COUNT] }
+    }
+
+    /// Overwrites one gauge.
+    pub fn set(&mut self, g: Gauge, v: f64) {
+        self.vals[g.index()] = v;
+    }
+
+    /// Reads one gauge.
+    pub fn get(&self, g: Gauge) -> f64 {
+        self.vals[g.index()]
+    }
+}
+
+/// Number of log₂ latency buckets per phase. Bucket `k` holds spans whose
+/// duration in nanoseconds satisfies `2^k ≤ ns < 2^(k+1)` (bucket 0 also
+/// absorbs 0 ns); 40 buckets reach ≈18 minutes, far beyond any slot phase.
+pub const SPAN_BUCKETS: usize = 40;
+
+/// Fixed-bucket wall-time statistics of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Spans recorded.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest span, nanoseconds.
+    pub max_ns: u64,
+    buckets: [u64; SPAN_BUCKETS],
+}
+
+impl SpanStats {
+    /// Empty statistics.
+    pub const ZERO: SpanStats =
+        SpanStats { count: 0, total_ns: 0, max_ns: 0, buckets: [0; SPAN_BUCKETS] };
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            ((u64::BITS - 1 - ns.leading_zeros()) as usize).min(SPAN_BUCKETS - 1)
+        }
+    }
+
+    /// Records one span.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// The raw log₂ histogram.
+    pub fn buckets(&self) -> &[u64; SPAN_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Merges another phase's statistics (fleet aggregation).
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Mean span duration, nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate from the log₂ histogram (upper bucket bound —
+    /// pessimistic within a factor of two, which is what a trend gate
+    /// needs, not a profiler).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets, self.count, q)
+    }
+}
+
+fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (k, n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return if k + 1 >= 64 { u64::MAX } else { (1u64 << (k + 1)) - 1 };
+        }
+    }
+    u64::MAX
+}
+
+/// Per-phase wall-time spans for the whole pipeline, preallocated.
+///
+/// Disabled (the default) it records nothing and never reads the clock.
+/// The `begin`/`lap` pair is shaped for straight-line instrumentation of
+/// a multi-phase body without closures:
+///
+/// ```
+/// use decos_sim::telemetry::{Phase, Spans};
+/// let mut spans = Spans::disabled();
+/// spans.enable();
+/// let mut mark = spans.begin();
+/// // ... phase work ...
+/// spans.lap(Phase::Kernel, &mut mark);
+/// // ... next phase ...
+/// spans.lap(Phase::TtNet, &mut mark);
+/// assert_eq!(spans.stat(Phase::Kernel).count, 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Spans {
+    enabled: bool,
+    stats: [SpanStats; Phase::COUNT],
+}
+
+impl Default for Spans {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Spans {
+    /// Inert spans: recording is a no-op, the clock is never read.
+    pub const fn disabled() -> Self {
+        Spans { enabled: false, stats: [SpanStats::ZERO; Phase::COUNT] }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a phase sequence: `Some(now)` when enabled, `None` when not.
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes the current phase: records the time since `mark` under
+    /// `phase` and restarts `mark` for the next phase. No-op when `mark`
+    /// is `None` (disabled at `begin` time).
+    pub fn lap(&mut self, phase: Phase, mark: &mut Option<Instant>) {
+        if let Some(prev) = mark {
+            let now = Instant::now();
+            let ns = now.duration_since(*prev).as_nanos().min(u64::MAX as u128) as u64;
+            self.stats[phase.index()].record_ns(ns);
+            *mark = Some(now);
+        }
+    }
+
+    /// Statistics of one phase.
+    pub fn stat(&self, phase: Phase) -> &SpanStats {
+        &self.stats[phase.index()]
+    }
+
+    /// Merges another span set (pipeline halves, fleet aggregation).
+    pub fn merge(&mut self, other: &Spans) {
+        self.enabled |= other.enabled;
+        for (a, b) in self.stats.iter_mut().zip(&other.stats) {
+            a.merge(b);
+        }
+    }
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Registry name.
+    pub name: String,
+    /// Value.
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Registry name.
+    pub name: String,
+    /// Value.
+    pub value: f64,
+}
+
+/// One phase's timing in a snapshot. All fields here are wall-clock
+/// derived and **excluded** from the determinism contract except `count`,
+/// which is a pure function of the simulated horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Spans recorded (deterministic).
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Mean duration, nanoseconds.
+    pub mean_ns: f64,
+    /// p50 estimate (log₂ bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// p99 estimate (log₂ bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+    /// Longest span, nanoseconds.
+    pub max_ns: u64,
+    /// The raw log₂ histogram (bucket `k` ≈ `[2^k, 2^(k+1))` ns), kept so
+    /// snapshots merge exactly.
+    pub buckets: Vec<u64>,
+}
+
+/// A serializable point-in-time view of the whole telemetry layer:
+/// the full counter and gauge registries plus per-phase timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Every registered counter, registry order.
+    pub counters: Vec<CounterValue>,
+    /// Every registered gauge, registry order.
+    pub gauges: Vec<GaugeValue>,
+    /// Every registered phase, pipeline order.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Assembles a snapshot from live storage.
+    pub fn assemble(counters: &CounterSet, gauges: &GaugeSet, spans: &Spans) -> Self {
+        TelemetrySnapshot {
+            counters: Counter::ALL
+                .iter()
+                .map(|c| CounterValue { name: c.name().to_string(), value: counters.get(*c) })
+                .collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .map(|g| GaugeValue { name: g.name().to_string(), value: gauges.get(*g) })
+                .collect(),
+            phases: Phase::ALL
+                .iter()
+                .map(|p| {
+                    let s = spans.stat(*p);
+                    PhaseSnapshot {
+                        name: p.name().to_string(),
+                        count: s.count,
+                        total_ns: s.total_ns,
+                        mean_ns: s.mean_ns(),
+                        p50_ns: s.quantile_ns(0.50),
+                        p99_ns: s.quantile_ns(0.99),
+                        max_ns: s.max_ns,
+                        buckets: s.buckets().to_vec(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Value of one counter by registry name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Value of one gauge by registry name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The deterministic part of the snapshot as one canonical string:
+    /// counters and gauges, registry order. Two same-seed runs must
+    /// produce byte-identical fingerprints; wall-time fields are excluded.
+    pub fn counter_fingerprint(&self) -> String {
+        let mut s = String::new();
+        for c in &self.counters {
+            s.push_str(&c.name);
+            s.push('=');
+            s.push_str(&c.value.to_string());
+            s.push(';');
+        }
+        for g in &self.gauges {
+            s.push_str(&g.name);
+            s.push('=');
+            s.push_str(&format!("{:?}", g.value));
+            s.push(';');
+        }
+        s
+    }
+
+    /// Merges another snapshot (fleet aggregation): counters sum,
+    /// phase histograms add and quantiles are recomputed. Gauges are
+    /// **not** merged — ratios don't sum; the aggregating caller must
+    /// re-set them from the aggregate outcome.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        debug_assert_eq!(self.counters.len(), other.counters.len());
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            debug_assert_eq!(a.name, b.name, "registry order must match");
+            a.value += b.value;
+        }
+        debug_assert_eq!(self.phases.len(), other.phases.len());
+        for (a, b) in self.phases.iter_mut().zip(&other.phases) {
+            debug_assert_eq!(a.name, b.name, "phase order must match");
+            a.count += b.count;
+            a.total_ns += b.total_ns;
+            a.max_ns = a.max_ns.max(b.max_ns);
+            for (x, y) in a.buckets.iter_mut().zip(&b.buckets) {
+                *x += y;
+            }
+            a.mean_ns = if a.count == 0 { 0.0 } else { a.total_ns as f64 / a.count as f64 };
+            a.p50_ns = quantile_from_buckets(&a.buckets, a.count, 0.50);
+            a.p99_ns = quantile_from_buckets(&a.buckets, a.count, 0.99);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_consistent() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        let names: std::collections::BTreeSet<&str> =
+            Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::COUNT, "counter names must be unique");
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let mut spans = Spans::disabled();
+        let mut mark = spans.begin();
+        assert!(mark.is_none());
+        spans.lap(Phase::Kernel, &mut mark);
+        assert_eq!(spans.stat(Phase::Kernel).count, 0);
+    }
+
+    #[test]
+    fn enabled_spans_record_laps() {
+        let mut spans = Spans::disabled();
+        spans.enable();
+        let mut mark = spans.begin();
+        spans.lap(Phase::Kernel, &mut mark);
+        spans.lap(Phase::TtNet, &mut mark);
+        assert_eq!(spans.stat(Phase::Kernel).count, 1);
+        assert_eq!(spans.stat(Phase::TtNet).count, 1);
+        assert_eq!(spans.stat(Phase::Detect).count, 0);
+    }
+
+    #[test]
+    fn span_buckets_and_quantiles() {
+        let mut s = SpanStats::ZERO;
+        for ns in [1u64, 2, 3, 1000, 1_000_000] {
+            s.record_ns(ns);
+        }
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.buckets().iter().sum::<u64>(), 5);
+        // p50 of {1,2,3,1000,1e6} lands in the bucket containing 3.
+        assert!(s.quantile_ns(0.5) < 1000, "p50 {}", s.quantile_ns(0.5));
+        assert!(s.quantile_ns(0.99) >= 1_000_000);
+        assert_eq!(SpanStats::ZERO.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_fingerprint_covers_counters_and_gauges_only() {
+        let mut counters = CounterSet::new();
+        counters.add(Counter::SymptomsOffered, 41);
+        counters.add(Counter::SymptomsOffered, 1);
+        let mut gauges = GaugeSet::new();
+        gauges.set(Gauge::DeliveryQuality, 0.75);
+        let mut spans = Spans::disabled();
+        spans.enable();
+        let mut mark = spans.begin();
+        spans.lap(Phase::Kernel, &mut mark);
+
+        let a = TelemetrySnapshot::assemble(&counters, &gauges, &spans);
+        assert_eq!(a.counter("symptoms_offered"), Some(42));
+        assert_eq!(a.gauge("delivery_quality"), Some(0.75));
+        // A second snapshot with different timing but equal counters must
+        // fingerprint identically.
+        let mut spans2 = Spans::disabled();
+        spans2.enable();
+        let mut mark2 = spans2.begin();
+        std::thread::yield_now();
+        spans2.lap(Phase::Kernel, &mut mark2);
+        let b = TelemetrySnapshot::assemble(&counters, &gauges, &spans2);
+        assert_eq!(a.counter_fingerprint(), b.counter_fingerprint());
+        assert!(a.counter_fingerprint().contains("symptoms_offered=42;"));
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_recomputes_quantiles() {
+        let mut counters = CounterSet::new();
+        counters.set(Counter::Vehicles, 1);
+        counters.set(Counter::SlotsSimulated, 100);
+        let gauges = GaugeSet::new();
+        let mut s1 = SpanStats::ZERO;
+        s1.record_ns(10);
+        let mut spans = Spans::disabled();
+        spans.enable();
+        spans.stats[Phase::Kernel.index()] = s1;
+
+        let mut a = TelemetrySnapshot::assemble(&counters, &gauges, &spans);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.counter("vehicles"), Some(2));
+        assert_eq!(a.counter("slots_simulated"), Some(200));
+        assert_eq!(a.phases[0].count, 2);
+        assert_eq!(a.phases[0].buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap =
+            TelemetrySnapshot::assemble(&CounterSet::new(), &GaugeSet::new(), &Spans::disabled());
+        let json = serde_json::to_string(&snap).expect("serializable");
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(snap, back);
+    }
+}

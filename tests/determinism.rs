@@ -50,6 +50,31 @@ fn trajectories_are_reproducible() {
 }
 
 #[test]
+fn telemetry_counters_are_seed_deterministic() {
+    // The determinism contract (DESIGN.md §11): counters and gauges are a
+    // pure function of the seed; wall-time span fields are excluded and
+    // compared via `counter_fingerprint()`, never byte-for-byte snapshots.
+    let c = mixed_campaign(321);
+    let opts = RunOptions { telemetry: true };
+    let run = || {
+        run_campaign_opts(&c, EngineParams::default(), opts, &mut [], |_, _, _| {})
+            .unwrap()
+            .telemetry
+            .expect("telemetry requested")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.counter_fingerprint(), b.counter_fingerprint());
+    // The counters cross-check the outcome's own statistics.
+    let out = run_campaign(&c).unwrap();
+    assert_eq!(a.counter("symptoms_offered").unwrap(), out.dissemination.offered);
+    assert_eq!(a.counter("symptoms_delivered").unwrap(), out.dissemination.delivered);
+    // Telemetry itself must not perturb the simulation.
+    let plain = run_campaign(&c).unwrap();
+    assert_eq!(out.report, plain.report);
+}
+
+#[test]
 fn outcome_serializes_roundtrip() {
     let c = mixed_campaign(9);
     let out = run_campaign(&c).unwrap();

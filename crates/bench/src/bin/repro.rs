@@ -14,10 +14,17 @@
 //! cargo run --release -p decos-bench --bin repro -- --telemetry
 //! # Stream a per-round JSONL trace of a reference campaign.
 //! cargo run --release -p decos-bench --bin repro -- --trace trace.jsonl
+//! # Record a fault-lifecycle flight-recorder dump of the same campaign.
+//! cargo run --release -p decos-bench --bin repro -- --flightrec flightrec.jsonl
+//! # Render a dump as a fault timeline + latency table.
+//! cargo run --release -p decos-bench --bin repro -- trace-report flightrec.jsonl
+//! # Enforce the perf trajectory against the committed BENCH files
+//! # (exit 1 on a >10% slots/sec regression or a determinism mismatch).
+//! cargo run --release -p decos-bench --bin repro -- bench-compare --tolerance 0.10
 //! ```
 
 use decos_bench::experiments as exp;
-use decos_bench::{perf, Effort};
+use decos_bench::{compare, flightdump, perf, Effort};
 
 const IDS: &[&str] = &[
     "e1-architecture",
@@ -81,11 +88,7 @@ fn run_bench(report: perf::BenchReport, path: &str) {
     println!(
         "{path}: {:.0} slots/sec{} deterministic={}",
         report.slots_per_sec,
-        if report.vehicles_per_sec > 0.0 {
-            format!(", {:.2} vehicles/sec", report.vehicles_per_sec)
-        } else {
-            String::new()
-        },
+        report.vehicles_per_sec.map_or_else(String::new, |v| format!(", {v:.2} vehicles/sec")),
         report.deterministic
     );
     if !report.deterministic {
@@ -119,28 +122,122 @@ fn run_trace(path: &str, effort: Effort) {
     }
 }
 
+/// Records a flight-recorder dump of the reference connector campaign
+/// (the `--trace` campaign, recorder on) and always writes it — the
+/// on-anomaly policy applies to experiment sweeps, not to an explicit
+/// dump request.
+fn run_flightrec(path: &str, effort: Effort) {
+    use decos::prelude::*;
+    let rounds = effort.scale(2_000);
+    let c = Campaign::reference(
+        decos::faults::campaign::connector_campaign(NodeId(2), 800.0),
+        10.0,
+        rounds,
+        2026,
+    );
+    let opts = RunOptions { telemetry: true, flightrec: true };
+    let out =
+        decos::runner::run_campaign_opts(&c, EngineParams::default(), opts, &mut [], |_, _, _| {})
+            .unwrap_or_else(|e| {
+                eprintln!("flightrec campaign failed: {e}");
+                std::process::exit(1);
+            });
+    let trace = out.trace.as_ref().expect("flightrec on");
+    flightdump::write_flightrec(trace, path).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{path}: {} events ({} overwritten), anomalous={}",
+        trace.events.len(),
+        trace.dropped,
+        flightdump::is_anomalous(&out)
+    );
+}
+
+/// Renders a `decos-flightrec/1` dump as a fault timeline + latency table.
+fn run_trace_report(path: &str) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let events = flightdump::read_flightrec(&body).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", flightdump::render_trace_report(&events));
+}
+
+/// The perf-trajectory gate: exits 1 on a regression beyond tolerance or
+/// a determinism mismatch.
+fn run_bench_compare(effort: Effort, tolerance: f64) {
+    let results = compare::bench_compare(effort, tolerance, "BENCH_fleet.json", "BENCH_slot.json")
+        .unwrap_or_else(|e| {
+            eprintln!("bench-compare: {e}");
+            std::process::exit(1);
+        });
+    let mut failed = false;
+    for r in &results {
+        println!(
+            "{}: baseline {:.0} slots/sec, current {:.0} slots/sec ({:+.1}%) — {}",
+            r.name,
+            r.baseline,
+            r.current,
+            (r.current / r.baseline - 1.0) * 100.0,
+            if r.passed() {
+                "ok"
+            } else if !r.deterministic {
+                "FAIL (non-deterministic)"
+            } else {
+                "FAIL (regression)"
+            }
+        );
+        failed |= !r.passed();
+    }
+    if failed {
+        eprintln!("FAIL: perf trajectory gate (tolerance {:.0}%)", tolerance * 100.0);
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let effort = args
-        .iter()
-        .position(|a| a == "--effort")
-        .and_then(|i| args.get(i + 1))
+    let flag_value = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
+    let effort = flag_value("--effort")
         .and_then(|v| v.parse::<f64>().ok())
         .map(Effort)
         .unwrap_or(Effort(1.0));
     let telemetry = args.iter().any(|a| a == "--telemetry");
-    let trace = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+    let trace = flag_value("--trace").cloned();
+    let flightrec = flag_value("--flightrec").cloned();
+    let tolerance = flag_value("--tolerance")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(compare::DEFAULT_TOLERANCE);
+    const VALUE_FLAGS: &[&str] = &["--effort", "--trace", "--flightrec", "--tolerance"];
     let ids: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             // Skip flags and flag values (--effort 0.2, --trace out.jsonl).
             !a.starts_with("--")
-                && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--effort" && p != "--trace")
+                && args.get(i.wrapping_sub(1)).is_none_or(|p| !VALUE_FLAGS.contains(&p.as_str()))
         })
         .map(|(_, s)| s.as_str())
         .collect();
+    // Subcommands with their own argument shapes come first.
+    if ids.first() == Some(&"trace-report") {
+        let Some(path) = ids.get(1) else {
+            eprintln!("usage: repro trace-report <flightrec.jsonl>");
+            std::process::exit(2);
+        };
+        run_trace_report(path);
+        return;
+    }
+    if ids.first() == Some(&"bench-compare") {
+        run_bench_compare(effort, tolerance);
+        return;
+    }
     if telemetry {
         // Shorthand for both BENCH emitters.
         run_bench(perf::bench_fleet(effort), "BENCH_fleet.json");
@@ -149,13 +246,19 @@ fn main() {
     if let Some(path) = &trace {
         run_trace(path, effort);
     }
+    if let Some(path) = &flightrec {
+        run_flightrec(path, effort);
+    }
     if ids.is_empty() {
-        if telemetry || trace.is_some() {
+        if telemetry || trace.is_some() || flightrec.is_some() {
             return;
         }
         eprintln!(
-            "usage: repro <experiment|all> [--json] [--effort <f>] [--telemetry] [--trace <path>]"
+            "usage: repro <experiment|all> [--json] [--effort <f>] [--telemetry] \
+             [--trace <path>] [--flightrec <path>]"
         );
+        eprintln!("       repro trace-report <flightrec.jsonl>");
+        eprintln!("       repro bench-compare [--effort <f>] [--tolerance <f>]");
         eprintln!("experiments: {IDS:?} plus bench-fleet, bench-slot");
         std::process::exit(2);
     }

@@ -1374,6 +1374,9 @@ pub struct E14Degradation {
     /// The bottom-line soundness claim: with the symptom stream fully
     /// severed, the engine flags the degradation and recommends nothing.
     pub sound_at_total_loss: bool,
+    /// Flight-recorder dump of the total-loss endpoint, written because
+    /// that endpoint is anomalous by construction (degraded path).
+    pub flightrec_dump: Option<String>,
 }
 
 /// Runs E14: a fixed connector fault plus an increasingly hostile
@@ -1432,11 +1435,41 @@ pub fn e14_diag_degradation(effort: Effort) -> E14Degradation {
     let sound_at_total_loss = sound(loss_sweep.last().expect("non-empty sweep"))
         && sound(corruption_sweep.last().expect("non-empty sweep"));
 
+    // Black-box flight recorder over the total-loss endpoint: rerun it with
+    // the recorder armed and keep the tape under the on-anomaly policy. A
+    // fully severed path flags `degraded`, so the tape is always kept and
+    // `repro trace-report e14_flightrec.jsonl` can replay how the symptom
+    // stream starved.
+    let flightrec_dump = {
+        let mut faults = campaign::connector_campaign(NodeId(2), 2000.0);
+        faults.extend(campaign::diag_degradation_campaign(1.0, 0.0, 0));
+        let c = Campaign::reference(faults, 10.0, rounds, 1_400 + (levels.len() - 1) as u64);
+        let opts = RunOptions { telemetry: true, flightrec: true };
+        let out = decos::runner::run_campaign_opts(
+            &c,
+            EngineParams::default(),
+            opts,
+            &mut [],
+            |_, _, _| {},
+        )
+        .expect("degradation campaign analyzes clean");
+        let path = "e14_flightrec.jsonl";
+        match crate::flightdump::dump_on_anomaly(&out, path) {
+            Ok(true) => Some(path.to_string()),
+            Ok(false) => None,
+            Err(e) => {
+                eprintln!("warning: cannot write {path}: {e}");
+                None
+            }
+        }
+    };
+
     E14Degradation {
         truth: "connector fault at component 2 (expected action: inspect-connector)".into(),
         loss_sweep,
         corruption_sweep,
         sound_at_total_loss,
+        flightrec_dump,
     }
 }
 
@@ -1469,6 +1502,9 @@ impl E14Degradation {
         };
         table(&mut s, "loss sweep", &self.loss_sweep);
         table(&mut s, "corruption sweep", &self.corruption_sweep);
+        if let Some(path) = &self.flightrec_dump {
+            let _ = writeln!(s, "  flight-recorder dump (total-loss endpoint): {path}");
+        }
         let _ = writeln!(
             s,
             "  sound-under-total-loss: {}",

@@ -2,10 +2,20 @@
 //!
 //! [`experiments`] regenerates every figure of the paper as data (E1–E11,
 //! see DESIGN.md §5); the `repro` binary dispatches on experiment id.
-//! Criterion benches live under `benches/`.
+//! [`perf`] emits the committed `BENCH_*.json` trajectory, [`compare`]
+//! enforces it (`repro bench-compare`), and [`flightdump`] handles
+//! flight-recorder JSONL dumps and `repro trace-report`. Criterion
+//! benches live under `benches/`.
 
+pub mod compare;
 pub mod experiments;
+pub mod flightdump;
 pub mod perf;
 
+pub use compare::{bench_compare, read_baseline, regressed, GateResult, DEFAULT_TOLERANCE};
 pub use experiments::Effort;
+pub use flightdump::{
+    dump_on_anomaly, is_anomalous, read_flightrec, render_trace_report, write_flightrec,
+    FLIGHTREC_SCHEMA,
+};
 pub use perf::{bench_fleet, bench_slot, traced_campaign, write_report, BenchReport, TraceWriter};

@@ -25,10 +25,13 @@ use serde::Serialize;
 
 use crate::Effort;
 
-/// Schema tag for `BENCH_fleet.json`.
-pub const FLEET_SCHEMA: &str = "decos-bench-fleet/1";
-/// Schema tag for `BENCH_slot.json`.
-pub const SLOT_SCHEMA: &str = "decos-bench-slot/1";
+/// Schema tag for `BENCH_fleet.json`. `/2`: fault-lifecycle latency
+/// counters/gauges joined the telemetry registry.
+pub const FLEET_SCHEMA: &str = "decos-bench-fleet/2";
+/// Schema tag for `BENCH_slot.json`. `/2`: `vehicles_per_sec` is now
+/// `null` for this non-fleet shape (it used to be a meaningless `0.0`),
+/// and the lifecycle latency metrics joined the registry.
+pub const SLOT_SCHEMA: &str = "decos-bench-slot/2";
 /// Schema tag for each JSONL trace row.
 pub const TRACE_SCHEMA: &str = "decos-trace-round/1";
 
@@ -60,9 +63,9 @@ pub struct BenchReport {
     pub effort: f64,
     /// Wall-clock seconds of the measured (second) run.
     pub wall_secs: f64,
-    /// Vehicles completed per wall-clock second (fleet shape only; 0 for
-    /// the slot shape).
-    pub vehicles_per_sec: f64,
+    /// Vehicles completed per wall-clock second. Fleet shape only —
+    /// `null` for single-campaign shapes, where the notion is meaningless.
+    pub vehicles_per_sec: Option<f64>,
     /// Pipeline slots stepped per wall-clock second.
     pub slots_per_sec: f64,
     /// Whether two same-seed runs produced byte-identical counter
@@ -119,7 +122,7 @@ pub fn bench_fleet(effort: Effort) -> BenchReport {
         ),
         effort: effort.0,
         wall_secs,
-        vehicles_per_sec: cfg.vehicles as f64 / wall_secs,
+        vehicles_per_sec: Some(cfg.vehicles as f64 / wall_secs),
         slots_per_sec: slots as f64 / wall_secs,
         deterministic: fp_a == fp_b,
         counter_fingerprint: fp_b,
@@ -138,7 +141,7 @@ pub fn bench_slot(effort: Effort) -> BenchReport {
         rounds,
         2026,
     );
-    let opts = RunOptions { telemetry: true };
+    let opts = RunOptions { telemetry: true, ..Default::default() };
     let run = |c: &Campaign| {
         run_campaign_opts(c, EngineParams::default(), opts, &mut [], |_, _, _| {})
             .expect("campaign run")
@@ -156,7 +159,7 @@ pub fn bench_slot(effort: Effort) -> BenchReport {
         workload: format!("campaign connector rounds={rounds} accel=10 seed=2026"),
         effort: effort.0,
         wall_secs,
-        vehicles_per_sec: 0.0,
+        vehicles_per_sec: None,
         slots_per_sec: slots as f64 / wall_secs,
         deterministic: fp_a == fp_b,
         counter_fingerprint: fp_b,
@@ -271,7 +274,7 @@ pub fn traced_campaign(
     path: &str,
 ) -> Result<CampaignOutcome, Box<dyn std::error::Error>> {
     let mut writer = TraceWriter::create(path)?;
-    let opts = RunOptions { telemetry: true };
+    let opts = RunOptions { telemetry: true, ..Default::default() };
     let out = run_campaign_opts(c, EngineParams::default(), opts, &mut [], |sim, engine, rec| {
         writer.on_slot(sim, engine, rec);
     })
@@ -290,6 +293,7 @@ mod tests {
         assert!(r.deterministic, "same-seed counter fingerprints must agree");
         assert!(r.slots_per_sec > 0.0);
         assert_eq!(r.schema, SLOT_SCHEMA);
+        assert_eq!(r.vehicles_per_sec, None, "slot shape has no vehicles/sec");
         assert_eq!(r.phases.len(), 7, "all seven pipeline phases present");
         assert!(r.phases.iter().all(|p| p.count > 0), "every phase was timed");
     }
@@ -298,7 +302,7 @@ mod tests {
     fn fleet_bench_is_deterministic() {
         let r = bench_fleet(Effort(0.05));
         assert!(r.deterministic, "same-seed counter fingerprints must agree");
-        assert!(r.vehicles_per_sec > 0.0);
+        assert!(r.vehicles_per_sec.expect("fleet shape reports vehicles/sec") > 0.0);
         assert!(r.telemetry.counter("vehicles").unwrap() > 0);
         assert_eq!(
             r.telemetry.counter("slots_simulated").unwrap()
@@ -328,11 +332,37 @@ mod tests {
         assert_eq!(lines.len() as u64, rounds);
         let mut prev_offered = 0;
         let mut last_offered = 0;
+        // The `decos-trace-round/1` contract: every row carries every
+        // required field, with counters cumulative. Missing or renamed
+        // fields fail here, so the schema can't silently drift.
+        const REQUIRED_U64: &[&str] = &[
+            "round",
+            "offered",
+            "delivered",
+            "dropped",
+            "corrupted",
+            "rejected",
+            "delayed",
+            "forged_suspected",
+            "failovers",
+            "crashed_rounds",
+            "frozen_rounds",
+        ];
         for line in &lines {
             let v = serde::value::parse_embedded(line).unwrap();
             let entries = v.as_map().unwrap();
             let schema = serde::value::field(entries, "schema").unwrap();
             assert_eq!(schema.as_str().unwrap(), TRACE_SCHEMA);
+            for name in REQUIRED_U64 {
+                serde::value::field(entries, name)
+                    .and_then(|f| f.as_u64())
+                    .unwrap_or_else(|e| panic!("required field {name}: {e}"));
+            }
+            for name in ["t_secs", "quality"] {
+                serde::value::field(entries, name)
+                    .and_then(|f| f.as_f64())
+                    .unwrap_or_else(|e| panic!("required field {name}: {e}"));
+            }
             let offered = serde::value::field(entries, "offered").unwrap().as_u64().unwrap();
             assert!(offered >= prev_offered, "counters are cumulative");
             prev_offered = offered;

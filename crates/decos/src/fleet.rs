@@ -172,14 +172,30 @@ pub fn run_fleet_configured(
     let degraded_vehicles = vehicles.iter().filter(|o| o.degraded).count() as u64;
     if let Some(agg) = telemetry.as_mut() {
         // Per-vehicle snapshots already summed `vehicles` / `degraded`;
-        // gauges don't sum, so re-derive them at fleet scope.
+        // gauges don't sum, so re-derive them at fleet scope. The latency
+        // gauges come back out of the merged round/fault counters through
+        // the same `mean_latency` the campaign scope used, so the fleet
+        // value is the fault-weighted fleet mean.
         debug_assert_eq!(agg.counter(Counter::Vehicles.name()), Some(cfg.vehicles));
         debug_assert_eq!(agg.counter(Counter::DegradedVehicles.name()), Some(degraded_vehicles));
+        let counter = |c: Counter| agg.counter(c.name()).unwrap_or(0);
+        let detect_latency = decos_sim::flightrec::mean_latency(
+            counter(Counter::DetectLatencyRounds),
+            counter(Counter::FaultsDetected),
+        );
+        let convict_latency = decos_sim::flightrec::mean_latency(
+            counter(Counter::ConvictLatencyRounds),
+            counter(Counter::FaultsConvicted),
+        );
         for g in agg.gauges.iter_mut() {
             if g.name == Gauge::DeliveryQuality.name() {
                 g.value = mean_delivery_quality;
             } else if g.name == Gauge::NffRatio.name() {
                 g.value = decos.nff_ratio();
+            } else if g.name == Gauge::DetectLatency.name() {
+                g.value = detect_latency;
+            } else if g.name == Gauge::ConvictLatency.name() {
+                g.value = convict_latency;
             }
         }
     }
@@ -227,7 +243,7 @@ fn run_vehicle(
         rounds: cfg.rounds,
         seed: seeds.child(index).master(),
     };
-    let run_opts = RunOptions { telemetry: opts.telemetry };
+    let run_opts = RunOptions { telemetry: opts.telemetry, flightrec: false };
     let out = run_campaign_opts(&campaign, params, run_opts, &mut [], |_, _, _| {})
         .expect("sampled campaign passes the pre-flight analysis");
 

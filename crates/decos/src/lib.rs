@@ -79,6 +79,9 @@ pub mod prelude {
     pub use decos_platform::{
         ClusterSim, ClusterSpec, JobId, NodeId, ObserverFn, Position, SlotMetrics, SlotObserver,
     };
+    pub use decos_sim::flightrec::{
+        FaultLifecycle, FaultRecord, FlightRecording, TraceEvent, TraceEventKind,
+    };
     pub use decos_sim::telemetry::TelemetrySnapshot;
     pub use decos_sim::{SimDuration, SimTime};
 }

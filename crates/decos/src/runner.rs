@@ -13,8 +13,10 @@ use decos_diagnosis::{
 };
 use decos_faults::{FaultEnvironment, FaultSpec, FruRef};
 use decos_platform::{ClusterSim, ClusterSpec, SlotObserver, SlotRecord, SpecError};
+use decos_sim::flightrec::{self, FaultLifecycle, FlightRecording, NO_COMPONENT};
 use decos_sim::rng::SeedSource;
 use decos_sim::telemetry::{Counter, CounterSet, Gauge, GaugeSet, TelemetrySnapshot};
+use decos_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Why a campaign refused to run.
@@ -101,6 +103,15 @@ pub struct CampaignOutcome {
     /// Counters and gauges are deterministic per seed; phase timings are
     /// wall-clock and excluded from the determinism contract.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Per-fault lifecycle records — onset→first-symptom, onset→first-ONA,
+    /// onset→conviction latencies in rounds plus FRU attribution. Present
+    /// when either [`RunOptions::telemetry`] or [`RunOptions::flightrec`]
+    /// is on; fully deterministic per seed.
+    pub lifecycle: Option<FaultLifecycle>,
+    /// The retained flight-recorder event ring
+    /// ([`RunOptions::flightrec`]); `None` when off. Deterministic per
+    /// seed.
+    pub trace: Option<FlightRecording>,
 }
 
 /// Optional behaviours of a campaign run.
@@ -111,6 +122,12 @@ pub struct RunOptions {
     /// outcome. Off by default: uninstrumented runs never read the wall
     /// clock and the steady-state loop stays allocation-free.
     pub telemetry: bool,
+    /// Record the fault-lifecycle event trace into a bounded ring and
+    /// attach a [`FlightRecording`] to the outcome. Off by default; when
+    /// on, the ring is preallocated once and steady-state recording stays
+    /// allocation-free. Telemetry alone already runs the (ring-less)
+    /// lifecycle fold for the latency metrics.
+    pub flightrec: bool,
 }
 
 /// Runs a campaign.
@@ -185,6 +202,32 @@ pub fn run_campaign_opts(
         sim.enable_telemetry();
         engine.enable_telemetry();
     }
+    // The lifecycle fold runs whenever latency metrics are wanted
+    // (telemetry) or events are kept (flightrec); the ring itself is only
+    // paid for under `flightrec`.
+    let lifecycle_on = opts.telemetry || opts.flightrec;
+    if lifecycle_on {
+        engine.enable_flightrec(if opts.flightrec { flightrec::DEFAULT_CAPACITY } else { 0 });
+        for f in &c.faults {
+            let comp = match f.target {
+                FruRef::Component(n) => n.0,
+                FruRef::Job(j) => {
+                    c.spec.jobs.iter().find(|js| js.id == j).map_or(NO_COMPONENT, |js| js.host.0)
+                }
+            };
+            engine.flightrec_mut().register_fault(f.id, comp, f.kind.is_diag_path());
+        }
+    }
+    // Ground-truth watchers for fault-injected/cleared events: continuous
+    // kinds fire once at onset; episodic kinds follow the environment's
+    // activation windows (cleared on expiry, re-injected per episode).
+    let mut pending_continuous: Vec<(u32, SimTime)> = if lifecycle_on {
+        c.faults.iter().filter(|f| !f.kind.is_episodic()).map(|f| (f.id, f.onset)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut active_windows: Vec<(u32, SimTime)> = Vec::new();
+    let mut seen_windows = 0usize;
 
     // Runtime mirrors of the statically checked invariants (debug builds
     // only): the records the observers consume must agree with the model
@@ -214,6 +257,37 @@ pub fn run_campaign_opts(
             rec.sent.iter().all(|(v, _)| deployed_ids.contains(v)),
             "transmitted segments must belong to deployed vnets"
         );
+        if lifecycle_on {
+            let (round, slot) = (rec.addr.round, rec.addr.slot.0);
+            let mut i = 0;
+            while i < pending_continuous.len() {
+                if rec.start >= pending_continuous[i].1 {
+                    engine.flightrec_mut().fault_injected(pending_continuous[i].0, round, slot);
+                    pending_continuous.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            // Expire before scanning for new windows, so a same-slot
+            // re-activation is recorded cleared-then-injected.
+            let mut i = 0;
+            while i < active_windows.len() {
+                if rec.start >= active_windows[i].1 {
+                    engine.flightrec_mut().fault_cleared(active_windows[i].0, round, slot);
+                    active_windows.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            while seen_windows < env.log().windows.len() {
+                let w = env.log().windows[seen_windows];
+                seen_windows += 1;
+                engine.flightrec_mut().fault_injected(w.fault_id, round, slot);
+                if w.until < SimTime::MAX {
+                    active_windows.push((w.fault_id, w.until));
+                }
+            }
+        }
         // The diagnostic path is itself subject to the fault model: bridge
         // the environment's active path disturbance into the engine.
         engine.inject_disturbance(env.diag_disturbance());
@@ -233,8 +307,11 @@ pub fn run_campaign_opts(
     }
     let end = sim.now();
     let report = engine.report();
-    let telemetry =
-        opts.telemetry.then(|| assemble_telemetry(&sim, &engine, &report, c.rounds, slots));
+    let lifecycle = lifecycle_on.then(|| engine.flightrec().lifecycle());
+    let trace = opts.flightrec.then(|| engine.flightrec().recording());
+    let telemetry = opts
+        .telemetry
+        .then(|| assemble_telemetry(&sim, &engine, &report, c.rounds, slots, lifecycle.as_ref()));
     Ok(CampaignOutcome {
         obd: obd.report(end),
         dissemination: engine.dissemination_stats(),
@@ -242,6 +319,8 @@ pub fn run_campaign_opts(
         episodes: env.log().windows.len(),
         sim_seconds: end.as_secs_f64(),
         telemetry,
+        lifecycle,
+        trace,
         report,
     })
 }
@@ -255,6 +334,7 @@ fn assemble_telemetry(
     report: &DiagnosticReport,
     rounds: u64,
     slots: u64,
+    lifecycle: Option<&FaultLifecycle>,
 ) -> TelemetrySnapshot {
     let stats = engine.dissemination_stats();
     let mut counters = CounterSet::new();
@@ -275,6 +355,16 @@ fn assemble_telemetry(
     counters.set(Counter::DegradedVehicles, u64::from(report.degraded));
     let mut gauges = GaugeSet::new();
     gauges.set(Gauge::DeliveryQuality, report.delivery_quality);
+    if let Some(lc) = lifecycle {
+        counters.set(Counter::FaultsInjected, lc.faults_injected());
+        counters.set(Counter::FaultsDetected, lc.faults_detected());
+        counters.set(Counter::FaultsConvicted, lc.faults_convicted());
+        counters.set(Counter::WrongFruConvictions, lc.wrong_fru_convictions);
+        counters.set(Counter::DetectLatencyRounds, lc.detect_latency_total());
+        counters.set(Counter::ConvictLatencyRounds, lc.convict_latency_total());
+        gauges.set(Gauge::DetectLatency, lc.mean_detect_latency());
+        gauges.set(Gauge::ConvictLatency, lc.mean_convict_latency());
+    }
     let mut spans = *sim.telemetry_spans();
     spans.merge(engine.telemetry_spans());
     TelemetrySnapshot::assemble(&counters, &gauges, &spans)

@@ -119,4 +119,24 @@ fn fault_free_steady_state_allocates_nothing() {
             .all(|p| spans.stat(*p).count > 0),
         "enabled spans must have recorded laps"
     );
+
+    // The flight recorder holds it too: the ring is allocated once at
+    // enable time, events are written in place, and a fault-free run emits
+    // nothing (symptom/ONA/trust events are edge- or delta-triggered, all
+    // zero without injected faults).
+    engine.enable_flightrec(decos::sim::flightrec::DEFAULT_CAPACITY);
+    run_rounds(64, &mut sim, &mut engine, &mut obd, &mut metrics, &mut rec);
+
+    let before = ALLOCATIONS.load(Relaxed);
+    run_rounds(256, &mut sim, &mut engine, &mut obd, &mut metrics, &mut rec);
+    let after = ALLOCATIONS.load(Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "flight-recorder-armed steady state must not allocate (got {} allocations)",
+        after - before
+    );
+    assert!(engine.flightrec().enabled(), "recorder stays armed through the measured stretch");
+    assert_eq!(engine.flightrec().recorded(), 0, "a fault-free run writes no trace events");
 }

@@ -117,18 +117,35 @@ impl MaintenanceAdvisor {
         }
     }
 
+    /// The decided dominant class of one FRU right now, applying the same
+    /// thresholds as [`report`](Self::report) — `None` while the evidence
+    /// is too thin or too ambiguous. This is the conviction edge the
+    /// flight recorder watches: the round this first turns `Some` is the
+    /// FRU's stable-conviction round.
+    pub fn decided_class(&self, fru: FruRef) -> Option<FaultClass> {
+        let classes = self.evidence.get(&fru)?;
+        let (best_class, best_score, total) = Self::dominant(classes)?;
+        let share = if total > 0.0 { best_score / total } else { 0.0 };
+        (best_score >= self.params.min_evidence && share >= self.params.min_share)
+            .then_some(best_class)
+    }
+
+    fn dominant(classes: &BTreeMap<FaultClass, f64>) -> Option<(FaultClass, f64, f64)> {
+        let total: f64 = classes.values().sum();
+        classes
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(c, s)| (*c, *s, total))
+    }
+
     /// Builds the report against the current trust levels.
     pub fn report(&self, trust: &FruAssessor) -> DiagnosticReport {
         let mut verdicts: Vec<FruVerdict> = self
             .evidence
             .iter()
             .map(|(fru, classes)| {
-                let total: f64 = classes.values().sum();
-                let (best_class, best_score) = classes
-                    .iter()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                    .map(|(c, s)| (*c, *s))
-                    .expect("non-empty by construction");
+                let (best_class, best_score, total) =
+                    Self::dominant(classes).expect("non-empty by construction");
                 let share = if total > 0.0 { best_score / total } else { 0.0 };
                 let decided =
                     best_score >= self.params.min_evidence && share >= self.params.min_share;
@@ -240,6 +257,21 @@ mod tests {
         let rep = adv.report(&FruAssessor::new(TrustParams::default()));
         let v = rep.verdict_of(fru).unwrap();
         assert_eq!(v.class, None, "50/50 split must stay undecided");
+    }
+
+    #[test]
+    fn decided_class_matches_report_thresholds() {
+        let mut adv = MaintenanceAdvisor::new(AdvisorParams::default());
+        let fru = FruRef::Component(NodeId(1));
+        assert_eq!(adv.decided_class(fru), None, "no evidence at all");
+        adv.ingest(&[m(fru, FaultClass::ComponentInternal, 0.8, "wearout")]);
+        assert_eq!(adv.decided_class(fru), None, "below min_evidence");
+        for _ in 0..9 {
+            adv.ingest(&[m(fru, FaultClass::ComponentInternal, 0.8, "wearout")]);
+        }
+        assert_eq!(adv.decided_class(fru), Some(FaultClass::ComponentInternal));
+        let rep = adv.report(&FruAssessor::new(TrustParams::default()));
+        assert_eq!(rep.verdict_of(fru).unwrap().class, adv.decided_class(fru));
     }
 
     #[test]

@@ -13,10 +13,12 @@ use crate::patterns::{OnaBank, OnaParams, PatternMatch};
 use crate::state::DistributedState;
 use crate::symptom::{Subject, Symptom, SymptomKind};
 use crate::trust::{FruAssessor, TrustParams};
-use decos_faults::{DiagDisturbance, FruRef};
-use decos_platform::{ClusterSim, NodeId, SlotRecord, SpecError};
+use decos_faults::{DiagDisturbance, FaultClass, FruRef};
+use decos_platform::{ClusterSim, JobId, NodeId, SlotRecord, SpecError};
+use decos_sim::flightrec::{FlightRecorder, TraceEventKind, NO_COMPONENT};
 use decos_sim::telemetry::{Phase, Spans};
 use decos_sim::time::SimDuration;
+use std::collections::BTreeMap;
 
 /// Mean delivery quality below which the diagnostic path is reported
 /// degraded. The single source of truth for the `0.9` that used to be
@@ -100,6 +102,36 @@ pub struct DiagnosticEngine {
     /// Wall-time spans of the diagnostic half of the pipeline (detect →
     /// dissemination → state → ONA → trust). Disabled by default.
     spans: Spans,
+    /// Fault-lifecycle flight recorder (inert by default; see
+    /// DESIGN.md §11).
+    recorder: FlightRecorder,
+    /// Slot address of the record being observed (event stamping).
+    current_round: u64,
+    current_slot: u16,
+    /// Cumulative dissemination stats at the last round close, for
+    /// per-round event deltas.
+    prev_stats: DisseminationStats,
+    /// Trust freeze/thaw edge detection.
+    prev_frozen_rounds: u64,
+    was_frozen: bool,
+    /// FRUs whose conviction event already fired (first decision only).
+    convicted: Vec<FruRef>,
+    /// Host component of each job (event stamping; the advisor keeps its
+    /// own copy for root-cause consolidation).
+    job_hosts: BTreeMap<JobId, NodeId>,
+}
+
+/// Component index a FRU's evidence lands on: a job maps to its host.
+fn comp_index(job_hosts: &BTreeMap<JobId, NodeId>, fru: FruRef) -> u16 {
+    match fru {
+        FruRef::Component(n) => n.0,
+        FruRef::Job(j) => job_hosts.get(&j).map_or(NO_COMPONENT, |n| n.0),
+    }
+}
+
+/// Registry index of a fault class (the `detail` of conviction events).
+fn class_index(c: FaultClass) -> u32 {
+    FaultClass::ALL.iter().position(|x| *x == c).unwrap_or(0) as u32
 }
 
 impl DiagnosticEngine {
@@ -139,6 +171,14 @@ impl DiagnosticEngine {
             degraded_quality_threshold: params.degraded_quality_threshold,
             ona_matches: 0,
             spans: Spans::disabled(),
+            recorder: FlightRecorder::disabled(),
+            current_round: 0,
+            current_slot: 0,
+            prev_stats: DisseminationStats::default(),
+            prev_frozen_rounds: 0,
+            was_frozen: false,
+            convicted: Vec::new(),
+            job_hosts: sim.spec().jobs.iter().map(|j| (j.id, j.host)).collect(),
         })
     }
 
@@ -192,9 +232,28 @@ impl DiagnosticEngine {
 
     /// Observes one slot. Call for every record, in order.
     pub fn observe_slot(&mut self, sim: &ClusterSim, rec: &SlotRecord) {
+        self.current_round = rec.addr.round;
+        self.current_slot = rec.addr.slot.0;
         let mut mark = self.spans.begin();
         self.scratch.clear();
         self.detectors.detect(sim, rec, &mut self.scratch);
+        if self.recorder.enabled() {
+            // Real detector symptoms only — forged babble is recorded at
+            // round close as a frames-forged delta, not as evidence.
+            for s in &self.scratch {
+                let comp = match s.subject {
+                    Subject::Component(n) => n.0,
+                    Subject::Job(j) => comp_index(&self.job_hosts, FruRef::Job(j)),
+                };
+                self.recorder.record(
+                    TraceEventKind::SymptomRaised,
+                    self.current_round,
+                    self.current_slot,
+                    comp,
+                    1,
+                );
+            }
+        }
         if self.disturbance.babbler.is_some() {
             self.forge_babble(sim, rec);
         }
@@ -219,6 +278,13 @@ impl DiagnosticEngine {
             self.crashed_rounds += 1;
             self.matches_last_round.clear();
             self.track_quality(0.0);
+            self.recorder.record(
+                TraceEventKind::CrashedRound,
+                self.current_round,
+                self.current_slot,
+                NO_COMPONENT,
+                1,
+            );
             return;
         }
         if self.primary_down {
@@ -230,6 +296,13 @@ impl DiagnosticEngine {
             self.failovers += 1;
             self.resync_remaining = self.resync_rounds;
             self.state.forget_short_term(self.resync_rounds as usize);
+            self.recorder.record(
+                TraceEventKind::Failover,
+                self.current_round,
+                self.current_slot,
+                NO_COMPONENT,
+                self.failovers,
+            );
         }
         let mut mark = self.spans.begin();
         self.network.deliver_round_into(&mut self.delivered);
@@ -261,6 +334,78 @@ impl DiagnosticEngine {
         self.trust.update_round_weighted(&self.matches_last_round, q);
         self.advisor.ingest(&self.matches_last_round);
         self.spans.lap(Phase::Trust, &mut mark);
+        if self.recorder.enabled() {
+            self.record_round_events();
+        }
+    }
+
+    /// Emits the flight-recorder events of a completed round: per-round
+    /// dissemination deltas, ONA matches, trust freeze/thaw edges, and
+    /// first-decision conviction edges. Fault-free rounds emit nothing
+    /// beyond the (zero-suppressed) deltas, so the recorder stays silent —
+    /// and allocation-free — in healthy steady state.
+    fn record_round_events(&mut self) {
+        let (round, slot) = (self.current_round, self.current_slot);
+        let stats = self.network.stats();
+        let deltas = [
+            (TraceEventKind::SymptomsDelivered, stats.delivered - self.prev_stats.delivered),
+            (TraceEventKind::SymptomsDropped, stats.dropped - self.prev_stats.dropped),
+            (TraceEventKind::FramesCorrupted, stats.corrupted - self.prev_stats.corrupted),
+            (TraceEventKind::FramesRejected, stats.rejected - self.prev_stats.rejected),
+            (TraceEventKind::FramesDelayed, stats.delayed - self.prev_stats.delayed),
+            (
+                TraceEventKind::FramesForged,
+                stats.forged_suspected - self.prev_stats.forged_suspected,
+            ),
+        ];
+        self.prev_stats = stats;
+        for (kind, n) in deltas {
+            if n > 0 {
+                self.recorder.record(
+                    kind,
+                    round,
+                    slot,
+                    NO_COMPONENT,
+                    n.min(u32::MAX as u64) as u32,
+                );
+            }
+        }
+        for m in &self.matches_last_round {
+            self.recorder.record(
+                TraceEventKind::OnaMatch,
+                round,
+                slot,
+                comp_index(&self.job_hosts, m.fru),
+                (m.confidence * 1000.0) as u32,
+            );
+        }
+        let frozen_rounds = self.trust.frozen_rounds();
+        let frozen_now = frozen_rounds > self.prev_frozen_rounds;
+        self.prev_frozen_rounds = frozen_rounds;
+        if frozen_now != self.was_frozen {
+            let kind =
+                if frozen_now { TraceEventKind::TrustFrozen } else { TraceEventKind::TrustThawed };
+            self.recorder.record(kind, round, slot, NO_COMPONENT, 0);
+            self.was_frozen = frozen_now;
+        }
+        // Conviction edges: the first round a FRU with fresh evidence
+        // crosses the advisor's decision thresholds.
+        for i in 0..self.matches_last_round.len() {
+            let fru = self.matches_last_round[i].fru;
+            if self.convicted.contains(&fru) {
+                continue;
+            }
+            if let Some(class) = self.advisor.decided_class(fru) {
+                self.convicted.push(fru);
+                self.recorder.record(
+                    TraceEventKind::Conviction,
+                    round,
+                    slot,
+                    comp_index(&self.job_hosts, fru),
+                    class_index(class),
+                );
+            }
+        }
     }
 
     fn track_quality(&mut self, q: f64) {
@@ -342,6 +487,24 @@ impl DiagnosticEngine {
     /// called).
     pub fn telemetry_spans(&self) -> &Spans {
         &self.spans
+    }
+
+    /// Turns on the fault-lifecycle flight recorder with the given event
+    /// ring capacity (0 keeps only the latency fold). Off by default:
+    /// uninstrumented runs record nothing and allocate nothing.
+    pub fn enable_flightrec(&mut self, capacity: usize) {
+        self.recorder.enable(capacity);
+    }
+
+    /// The flight recorder (lifecycle fold + event ring).
+    pub fn flightrec(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access: campaign runners register ground-truth
+    /// faults and emit fault-injected/cleared events through this.
+    pub fn flightrec_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
     }
 
     /// The campaign report, annotated with the health of the diagnostic

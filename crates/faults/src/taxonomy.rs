@@ -418,6 +418,28 @@ impl FaultKind {
                 | FaultKind::DiagComponentCrash { .. }
         )
     }
+
+    /// Whether this kind manifests in discrete activation episodes logged
+    /// as [`ActivationWindow`](crate::injector::ActivationWindow)s, as
+    /// opposed to manifesting continuously from onset. The flight
+    /// recorder derives fault-injected/cleared events from the windows of
+    /// episodic kinds and from the onset of continuous ones.
+    pub fn is_episodic(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::EmiBurst { .. }
+                | FaultKind::CosmicRaySeu { .. }
+                | FaultKind::StressOutage { .. }
+                | FaultKind::ConnectorIntermittent { .. }
+                | FaultKind::ConnectorWearout { .. }
+                | FaultKind::PcbCrack { .. }
+                | FaultKind::SolderJointCrack { .. }
+                | FaultKind::IcTransient { .. }
+                | FaultKind::IcPermanent { .. }
+                | FaultKind::PowerSupplyMarginal { .. }
+                | FaultKind::DiagComponentCrash { .. }
+        )
+    }
 }
 
 #[cfg(test)]

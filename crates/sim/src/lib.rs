@@ -13,18 +13,26 @@
 //!   workload generators and the diagnostic trend detectors;
 //! * [`telemetry`] — preallocated, registry-keyed counters/gauges and
 //!   per-phase wall-time spans for the slot pipeline (off by default;
-//!   see DESIGN.md §11).
+//!   see DESIGN.md §11);
+//! * [`flightrec`] — a bounded, zero-alloc-in-steady-state flight
+//!   recorder of causal fault-lifecycle events, plus the per-fault
+//!   latency fold behind the `detect_latency`/`convict_latency` metrics
+//!   (DESIGN.md §11).
 //!
 //! The kernel is deliberately single-threaded per run: determinism of a run
 //! outweighs intra-run parallelism. Fleet-scale experiments parallelise
 //! *across* runs (see `decos::fleet`), which is embarrassingly parallel.
 
+pub mod flightrec;
 pub mod kernel;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use flightrec::{
+    FaultLifecycle, FaultRecord, FlightRecorder, FlightRecording, TraceEvent, TraceEventKind,
+};
 pub use kernel::{Context, Engine, Model, Priority, RunOutcome, DEFAULT_PRIORITY};
 pub use rng::{SampleExt, SeedSource};
 pub use telemetry::{Counter, CounterSet, Gauge, GaugeSet, Phase, Spans, TelemetrySnapshot};

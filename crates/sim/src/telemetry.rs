@@ -111,11 +111,24 @@ pub enum Counter {
     Vehicles,
     /// Vehicles whose diagnostic path the engine flagged degraded.
     DegradedVehicles,
+    /// Ground-truth faults that manifested within the horizon
+    /// (flight-recorder lifecycle fold).
+    FaultsInjected,
+    /// Manifested faults with at least one attributed symptom.
+    FaultsDetected,
+    /// Manifested faults whose FRU reached a stable conviction.
+    FaultsConvicted,
+    /// Conviction events attributable to no injected fault.
+    WrongFruConvictions,
+    /// Summed onset→first-symptom latency over detected faults, rounds.
+    DetectLatencyRounds,
+    /// Summed onset→conviction latency over convicted faults, rounds.
+    ConvictLatencyRounds,
 }
 
 impl Counter {
     /// All counters, registry order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 21] = [
         Counter::SlotsSimulated,
         Counter::RoundsSimulated,
         Counter::SymptomsOffered,
@@ -131,6 +144,12 @@ impl Counter {
         Counter::CrashedRounds,
         Counter::Vehicles,
         Counter::DegradedVehicles,
+        Counter::FaultsInjected,
+        Counter::FaultsDetected,
+        Counter::FaultsConvicted,
+        Counter::WrongFruConvictions,
+        Counter::DetectLatencyRounds,
+        Counter::ConvictLatencyRounds,
     ];
 
     /// Number of registered counters.
@@ -154,6 +173,12 @@ impl Counter {
             Counter::CrashedRounds => "crashed_rounds",
             Counter::Vehicles => "vehicles",
             Counter::DegradedVehicles => "degraded_vehicles",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultsDetected => "faults_detected",
+            Counter::FaultsConvicted => "faults_convicted",
+            Counter::WrongFruConvictions => "wrong_fru_convictions",
+            Counter::DetectLatencyRounds => "detect_latency_rounds",
+            Counter::ConvictLatencyRounds => "convict_latency_rounds",
         }
     }
 
@@ -169,11 +194,16 @@ pub enum Gauge {
     DeliveryQuality,
     /// No-fault-found ratio of the integrated diagnosis (fleet scope).
     NffRatio,
+    /// Mean onset→first-symptom latency over detected faults, rounds.
+    DetectLatency,
+    /// Mean onset→stable-conviction latency over convicted faults, rounds.
+    ConvictLatency,
 }
 
 impl Gauge {
     /// All gauges, registry order.
-    pub const ALL: [Gauge; 2] = [Gauge::DeliveryQuality, Gauge::NffRatio];
+    pub const ALL: [Gauge; 4] =
+        [Gauge::DeliveryQuality, Gauge::NffRatio, Gauge::DetectLatency, Gauge::ConvictLatency];
 
     /// Number of registered gauges.
     pub const COUNT: usize = Self::ALL.len();
@@ -183,6 +213,8 @@ impl Gauge {
         match self {
             Gauge::DeliveryQuality => "delivery_quality",
             Gauge::NffRatio => "nff_ratio",
+            Gauge::DetectLatency => "detect_latency",
+            Gauge::ConvictLatency => "convict_latency",
         }
     }
 

@@ -55,7 +55,7 @@ fn telemetry_counters_are_seed_deterministic() {
     // pure function of the seed; wall-time span fields are excluded and
     // compared via `counter_fingerprint()`, never byte-for-byte snapshots.
     let c = mixed_campaign(321);
-    let opts = RunOptions { telemetry: true };
+    let opts = RunOptions { telemetry: true, ..Default::default() };
     let run = || {
         run_campaign_opts(&c, EngineParams::default(), opts, &mut [], |_, _, _| {})
             .unwrap()

@@ -135,7 +135,7 @@ fn run_flightrec(path: &str, effort: Effort) {
         rounds,
         2026,
     );
-    let opts = RunOptions { telemetry: true, flightrec: true };
+    let opts = RunOptions { telemetry: true, flightrec: true, ..Default::default() };
     let out =
         decos::runner::run_campaign_opts(&c, EngineParams::default(), opts, &mut [], |_, _, _| {})
             .unwrap_or_else(|e| {
@@ -168,6 +168,35 @@ fn run_trace_report(path: &str) {
     print!("{}", flightdump::render_trace_report(&events));
 }
 
+/// Renders the phase-share table from a committed `BENCH_*.json`: what
+/// percent of the pipeline's wall time each phase accounts for.
+fn run_phase_shares(path: &str) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let phases = (|| -> Result<Vec<(String, u64, f64)>, serde::value::DeError> {
+        let v = serde::value::parse_embedded(&body)?;
+        let entries = v.as_map()?;
+        let mut out = Vec::new();
+        for p in serde::value::field(entries, "phases")?.as_seq()? {
+            let pm = p.as_map()?;
+            out.push((
+                serde::value::field(pm, "name")?.as_str()?.to_string(),
+                serde::value::field(pm, "count")?.as_u64()?,
+                serde::value::field(pm, "mean_ns")?.as_f64()?,
+            ));
+        }
+        Ok(out)
+    })()
+    .unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    println!();
+    print!("{}", flightdump::render_phase_shares(&flightdump::phase_shares(&phases)));
+}
+
 /// The perf-trajectory gate: exits 1 on a regression beyond tolerance or
 /// a determinism mismatch.
 fn run_bench_compare(effort: Effort, tolerance: f64) {
@@ -188,10 +217,21 @@ fn run_bench_compare(effort: Effort, tolerance: f64) {
                 "ok"
             } else if !r.deterministic {
                 "FAIL (non-deterministic)"
-            } else {
+            } else if r.regressed {
                 "FAIL (regression)"
+            } else {
+                "FAIL (phase regression)"
             }
         );
+        for p in &r.phases {
+            println!(
+                "  {} p50: baseline {} ns, current {} ns — {}",
+                p.name,
+                p.baseline_p50_ns,
+                p.current_p50_ns,
+                if p.regressed { "FAIL" } else { "ok" }
+            );
+        }
         failed |= !r.passed();
     }
     if failed {
@@ -228,10 +268,13 @@ fn main() {
     // Subcommands with their own argument shapes come first.
     if ids.first() == Some(&"trace-report") {
         let Some(path) = ids.get(1) else {
-            eprintln!("usage: repro trace-report <flightrec.jsonl>");
+            eprintln!("usage: repro trace-report <flightrec.jsonl> [BENCH_*.json]");
             std::process::exit(2);
         };
         run_trace_report(path);
+        if let Some(bench) = ids.get(2) {
+            run_phase_shares(bench);
+        }
         return;
     }
     if ids.first() == Some(&"bench-compare") {
@@ -257,7 +300,7 @@ fn main() {
             "usage: repro <experiment|all> [--json] [--effort <f>] [--telemetry] \
              [--trace <path>] [--flightrec <path>]"
         );
-        eprintln!("       repro trace-report <flightrec.jsonl>");
+        eprintln!("       repro trace-report <flightrec.jsonl> [BENCH_*.json]");
         eprintln!("       repro bench-compare [--effort <f>] [--tolerance <f>]");
         eprintln!("experiments: {IDS:?} plus bench-fleet, bench-slot");
         std::process::exit(2);

@@ -15,6 +15,17 @@ use crate::Effort;
 /// item 2. CI passes a larger value to absorb shared-runner noise.
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
 
+/// Pipeline phases whose p50 the gate tracks. Kernel and TtNet are the
+/// two simulation-side phases of the flattened slot hot path — the ones
+/// the slot-table/SoA refactor is accountable for.
+pub const GATED_PHASES: [&str; 2] = ["kernel", "ttnet"];
+
+/// Minimum tolerance for the per-phase p50 gate. Phase quantiles come
+/// from log₂ histograms (bucket-bound estimates, factor-of-two granular)
+/// over sampled spans, so a tighter throughput tolerance must not make
+/// the phase gate noisier than its own resolution.
+pub const PHASE_TOLERANCE_FLOOR: f64 = 0.25;
+
 /// The committed numbers one gate comparison runs against.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Baseline {
@@ -22,11 +33,15 @@ pub struct Baseline {
     pub schema: String,
     /// Committed throughput, slots per wall-clock second.
     pub slots_per_sec: f64,
+    /// Committed per-phase p50s, nanoseconds, as `(name, p50_ns)`.
+    /// Empty for baselines predating phase quantiles.
+    pub phase_p50: Vec<(String, u64)>,
 }
 
 /// Parses a committed `BENCH_*.json` into a [`Baseline`]. Tolerant of the
 /// `/1` schema generation (pre-lifecycle metrics, `vehicles_per_sec: 0.0`
-/// on the slot shape): the gate compares throughput, not schemas.
+/// on the slot shape, no `phases` array): the gate compares throughput,
+/// not schemas.
 pub fn read_baseline(path: &str) -> Result<Baseline, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let v = serde::value::parse_embedded(&body).map_err(|e| format!("{path}: {e}"))?;
@@ -40,7 +55,20 @@ pub fn read_baseline(path: &str) -> Result<Baseline, String> {
     let slots_per_sec = serde::value::field(entries, "slots_per_sec")
         .and_then(|s| s.as_f64())
         .map_err(|e| format!("{path}: {e}"))?;
-    Ok(Baseline { schema, slots_per_sec })
+    let mut phase_p50 = Vec::new();
+    if let Ok(phases) = serde::value::field(entries, "phases").and_then(|p| p.as_seq()) {
+        for p in phases {
+            let pm = p.as_map().map_err(|e| format!("{path}: phases: {e}"))?;
+            let name = serde::value::field(pm, "name")
+                .and_then(|s| s.as_str().map(str::to_string))
+                .map_err(|e| format!("{path}: phases: {e}"))?;
+            let p50 = serde::value::field(pm, "p50_ns")
+                .and_then(|s| s.as_u64())
+                .map_err(|e| format!("{path}: phases: {e}"))?;
+            phase_p50.push((name, p50));
+        }
+    }
+    Ok(Baseline { schema, slots_per_sec, phase_p50 })
 }
 
 /// The gate predicate, kept pure so the synthetic-regression test pins
@@ -48,6 +76,34 @@ pub fn read_baseline(path: &str) -> Result<Baseline, String> {
 /// `baseline * (1 - tolerance)`. Improvements never fail.
 pub fn regressed(baseline: f64, current: f64, tolerance: f64) -> bool {
     current < baseline * (1.0 - tolerance)
+}
+
+/// The per-phase latency gate predicate: a phase regresses when its
+/// current p50 exceeds the committed p50 by more than one log₂ bucket
+/// (×2) times `1 + tolerance.max(PHASE_TOLERANCE_FLOOR)`. The bucket of
+/// headroom is not generosity — p50s *are* bucket upper bounds, so the
+/// minimum possible movement is a full bucket (+100%), and the median
+/// crossing one boundary under load noise must not fail the gate. Two
+/// buckets (≥4×) is a real regression. A zero baseline (phase never
+/// sampled in the committed run) gates nothing, and faster phases never
+/// fail.
+pub fn phase_regressed(baseline_ns: u64, current_ns: u64, tolerance: f64) -> bool {
+    baseline_ns > 0
+        && current_ns as f64
+            > baseline_ns as f64 * 2.0 * (1.0 + tolerance.max(PHASE_TOLERANCE_FLOOR))
+}
+
+/// One gated phase's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseGate {
+    /// Phase registry name.
+    pub name: String,
+    /// Committed p50, nanoseconds.
+    pub baseline_p50_ns: u64,
+    /// Measured p50, nanoseconds.
+    pub current_p50_ns: u64,
+    /// Whether the measured p50 fails the phase tolerance.
+    pub regressed: bool,
 }
 
 /// One shape's gate verdict.
@@ -63,21 +119,38 @@ pub struct GateResult {
     pub regressed: bool,
     /// Whether the measured run's same-seed fingerprints agreed.
     pub deterministic: bool,
+    /// Per-phase p50 verdicts over [`GATED_PHASES`] (empty when the
+    /// committed baseline predates phase quantiles).
+    pub phases: Vec<PhaseGate>,
 }
 
 impl GateResult {
     /// Whether this shape passes the gate.
     pub fn passed(&self) -> bool {
-        !self.regressed && self.deterministic
+        !self.regressed && self.deterministic && self.phases.iter().all(|p| !p.regressed)
     }
 
     fn of(name: &'static str, baseline: &Baseline, report: &BenchReport, tol: f64) -> Self {
+        let phases = GATED_PHASES
+            .iter()
+            .filter_map(|gp| {
+                let base = baseline.phase_p50.iter().find(|(n, _)| n == gp)?.1;
+                let cur = report.phases.iter().find(|p| p.name == *gp)?.p50_ns;
+                Some(PhaseGate {
+                    name: gp.to_string(),
+                    baseline_p50_ns: base,
+                    current_p50_ns: cur,
+                    regressed: phase_regressed(base, cur, tol),
+                })
+            })
+            .collect();
         GateResult {
             name,
             baseline: baseline.slots_per_sec,
             current: report.slots_per_sec,
             regressed: regressed(baseline.slots_per_sec, report.slots_per_sec, tol),
             deterministic: report.deterministic,
+            phases,
         }
     }
 }
@@ -118,9 +191,50 @@ mod tests {
     fn synthetic_regression_fails_the_gate() {
         // The acceptance criterion: a >10% synthetic regression must
         // demonstrably fail against a committed-style baseline.
-        let baseline = Baseline { schema: "decos-bench-slot/2".to_string(), slots_per_sec: 100.0 };
+        let baseline = Baseline {
+            schema: "decos-bench-slot/2".to_string(),
+            slots_per_sec: 100.0,
+            phase_p50: vec![("kernel".to_string(), 1000)],
+        };
         let current = baseline.slots_per_sec * 0.85; // 15% slower
         assert!(regressed(baseline.slots_per_sec, current, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn phase_gate_allows_one_bucket_plus_the_floor() {
+        // One log₂ bucket (×2) plus the 25% floor: ≤2.5× passes, above
+        // fails, even with a tighter throughput tolerance.
+        assert!(!phase_regressed(1000, 2500, DEFAULT_TOLERANCE));
+        assert!(phase_regressed(1000, 2501, DEFAULT_TOLERANCE));
+        // A single bucket step (p50 bound 511 → 1023) is measurement
+        // noise by construction and must pass.
+        assert!(!phase_regressed(511, 1023, DEFAULT_TOLERANCE));
+        // Two buckets up is a real regression.
+        assert!(phase_regressed(511, 2047, DEFAULT_TOLERANCE));
+        // A looser CI tolerance widens the phase gate with it.
+        assert!(!phase_regressed(1000, 3000, 0.5));
+        assert!(phase_regressed(1000, 3001, 0.5));
+        // Faster phases and unsampled baselines never fail.
+        assert!(!phase_regressed(1000, 100, DEFAULT_TOLERANCE));
+        assert!(!phase_regressed(0, 10_000, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn phase_verdicts_feed_the_shape_verdict() {
+        let r = GateResult {
+            name: "slot",
+            baseline: 100.0,
+            current: 120.0,
+            regressed: false,
+            deterministic: true,
+            phases: vec![PhaseGate {
+                name: "kernel".to_string(),
+                baseline_p50_ns: 511,
+                current_p50_ns: 2047,
+                regressed: true,
+            }],
+        };
+        assert!(!r.passed(), "a phase p50 regression must fail the shape");
     }
 
     #[test]
@@ -135,6 +249,7 @@ mod tests {
         .unwrap();
         let b = read_baseline(old.to_str().unwrap()).unwrap();
         assert_eq!(b.slots_per_sec, 123.5);
+        assert!(b.phase_p50.is_empty(), "old schema carries no phase quantiles");
         let new = dir.join("new.json");
         std::fs::write(
             &new,
@@ -143,6 +258,15 @@ mod tests {
         .unwrap();
         let b = read_baseline(new.to_str().unwrap()).unwrap();
         assert_eq!(b.slots_per_sec, 140.0);
+        let phased = dir.join("phased.json");
+        std::fs::write(
+            &phased,
+            "{\"schema\":\"decos-bench-slot/2\",\"slots_per_sec\":140,\"vehicles_per_sec\":null,\
+             \"phases\":[{\"name\":\"kernel\",\"p50_ns\":511},{\"name\":\"ttnet\",\"p50_ns\":255}]}",
+        )
+        .unwrap();
+        let b = read_baseline(phased.to_str().unwrap()).unwrap();
+        assert_eq!(b.phase_p50, vec![("kernel".to_string(), 511), ("ttnet".to_string(), 255)]);
         let junk = dir.join("junk.json");
         std::fs::write(&junk, "{\"schema\":\"decos-trace-round/1\"}").unwrap();
         assert!(read_baseline(junk.to_str().unwrap()).is_err());

@@ -1444,7 +1444,7 @@ pub fn e14_diag_degradation(effort: Effort) -> E14Degradation {
         let mut faults = campaign::connector_campaign(NodeId(2), 2000.0);
         faults.extend(campaign::diag_degradation_campaign(1.0, 0.0, 0));
         let c = Campaign::reference(faults, 10.0, rounds, 1_400 + (levels.len() - 1) as u64);
-        let opts = RunOptions { telemetry: true, flightrec: true };
+        let opts = RunOptions { telemetry: true, flightrec: true, ..Default::default() };
         let out = decos::runner::run_campaign_opts(
             &c,
             EngineParams::default(),

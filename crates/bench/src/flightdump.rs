@@ -202,9 +202,75 @@ pub fn render_trace_report(events: &[TraceEvent]) -> String {
     s
 }
 
+/// One phase's contribution to pipeline wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Phase registry name.
+    pub name: String,
+    /// Estimated wall time spent in the phase: `count × mean_ns`.
+    pub total_ns: f64,
+    /// Fraction of the summed pipeline wall time, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// Computes wall-time shares from `(name, count, mean_ns)` triples, as
+/// carried by a `BENCH_*.json` `phases` array. Span sampling cancels out:
+/// every phase is sampled at the same stride, so `count × mean` keeps the
+/// ratios of the true per-phase totals.
+pub fn phase_shares(phases: &[(String, u64, f64)]) -> Vec<PhaseShare> {
+    let totals: Vec<f64> = phases.iter().map(|(_, count, mean)| *count as f64 * mean).collect();
+    let sum: f64 = totals.iter().sum();
+    phases
+        .iter()
+        .zip(&totals)
+        .map(|((name, _, _), t)| PhaseShare {
+            name: name.clone(),
+            total_ns: *t,
+            share: if sum > 0.0 { t / sum } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Renders the phase-share table: percent of pipeline wall time per
+/// phase, pipeline order, with a proportional bar for reading at a
+/// glance.
+pub fn render_phase_shares(shares: &[PhaseShare]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "phase share of pipeline wall time");
+    for p in shares {
+        let pct = p.share * 100.0;
+        let bar = "#".repeat((p.share * 40.0).round() as usize);
+        let _ = writeln!(s, "  {:<14} {:>6.1}%  {:>12.0} ns  {}", p.name, pct, p.total_ns, bar);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_shares_sum_to_one_and_rank_by_total() {
+        let phases = vec![
+            ("kernel".to_string(), 1000u64, 500.0),
+            ("ttnet".to_string(), 1000, 250.0),
+            ("detect".to_string(), 1000, 125.0),
+            ("state".to_string(), 250, 0.0),
+        ];
+        let shares = phase_shares(&phases);
+        let sum: f64 = shares.iter().map(|p| p.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {sum}");
+        assert_eq!(shares[0].name, "kernel");
+        assert!(shares[0].share > shares[1].share && shares[1].share > shares[2].share);
+        assert_eq!(shares[3].share, 0.0, "an unexercised phase contributes nothing");
+        let table = render_phase_shares(&shares);
+        assert!(table.contains("kernel"), "{table}");
+        assert!(table.contains('%'), "{table}");
+        // Degenerate input: no recorded time at all must not divide by 0.
+        let empty = phase_shares(&[("kernel".to_string(), 0, 0.0)]);
+        assert_eq!(empty[0].share, 0.0);
+    }
 
     #[test]
     fn event_lines_roundtrip() {
@@ -259,7 +325,7 @@ mod tests {
             400,
             11,
         );
-        let opts = RunOptions { telemetry: true, flightrec: true };
+        let opts = RunOptions { telemetry: true, flightrec: true, ..Default::default() };
         let out = decos::runner::run_campaign_opts(
             &c,
             EngineParams::default(),

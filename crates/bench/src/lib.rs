@@ -12,7 +12,10 @@ pub mod experiments;
 pub mod flightdump;
 pub mod perf;
 
-pub use compare::{bench_compare, read_baseline, regressed, GateResult, DEFAULT_TOLERANCE};
+pub use compare::{
+    bench_compare, phase_regressed, read_baseline, regressed, GateResult, PhaseGate,
+    DEFAULT_TOLERANCE, GATED_PHASES, PHASE_TOLERANCE_FLOOR,
+};
 pub use experiments::Effort;
 pub use flightdump::{
     dump_on_anomaly, is_anomalous, read_flightrec, render_trace_report, write_flightrec,

@@ -243,7 +243,7 @@ fn run_vehicle(
         rounds: cfg.rounds,
         seed: seeds.child(index).master(),
     };
-    let run_opts = RunOptions { telemetry: opts.telemetry, flightrec: false };
+    let run_opts = RunOptions { telemetry: opts.telemetry, flightrec: false, ..Default::default() };
     let out = run_campaign_opts(&campaign, params, run_opts, &mut [], |_, _, _| {})
         .expect("sampled campaign passes the pre-flight analysis");
 

@@ -128,6 +128,11 @@ pub struct RunOptions {
     /// allocation-free. Telemetry alone already runs the (ring-less)
     /// lifecycle fold for the latency metrics.
     pub flightrec: bool,
+    /// Route every slot through the legacy per-slot simulation body,
+    /// ignoring the environment's quiescence/disturbance hints (see
+    /// [`ClusterSim::force_legacy_path`]). The outcome is bit-identical by
+    /// contract; equivalence tests pin that contract with this switch.
+    pub legacy_paths: bool,
 }
 
 /// Runs a campaign.
@@ -237,73 +242,81 @@ pub fn run_campaign_opts(
         c.spec.deployed_vnets().iter().map(|v| v.id).collect();
     let n_components = c.spec.n_components();
 
+    sim.force_legacy_path(opts.legacy_paths);
     let spr = sim.schedule().slots_per_round();
     let slots = c.rounds * spr as u64;
     let mut rec = SlotRecord::empty();
-    for _ in 0..slots {
-        sim.step_slot_into(&mut env, &mut rec);
-        debug_assert_eq!(
-            rec.observations.len(),
-            n_components,
-            "slot record must carry one observation per component"
-        );
-        debug_assert_eq!(
-            rec.owner,
-            sim.schedule().owner(rec.addr.slot),
-            "slot ownership must follow the analyzed TDMA table"
-        );
-        #[cfg(debug_assertions)]
-        debug_assert!(
-            rec.sent.iter().all(|(v, _)| deployed_ids.contains(v)),
-            "transmitted segments must belong to deployed vnets"
-        );
-        if lifecycle_on {
-            let (round, slot) = (rec.addr.round, rec.addr.slot.0);
-            let mut i = 0;
-            while i < pending_continuous.len() {
-                if rec.start >= pending_continuous[i].1 {
-                    engine.flightrec_mut().fault_injected(pending_continuous[i].0, round, slot);
-                    pending_continuous.swap_remove(i);
-                } else {
-                    i += 1;
+    // Round-batched dispatch: the cluster drives a whole precomputed round
+    // per call (probing the environment once for quiescence) and feeds
+    // every record to this per-slot observer chain. The environment comes
+    // back through the sink so the diagnostic-path bridge below sees the
+    // state `begin_slot` just established.
+    for _ in 0..c.rounds {
+        sim.step_round_with(&mut env, &mut rec, &mut |sim, env, rec| {
+            debug_assert_eq!(
+                rec.observations.len(),
+                n_components,
+                "slot record must carry one observation per component"
+            );
+            debug_assert_eq!(
+                rec.owner,
+                sim.schedule().owner(rec.addr.slot),
+                "slot ownership must follow the analyzed TDMA table"
+            );
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                rec.sent.iter().all(|(v, _)| deployed_ids.contains(v)),
+                "transmitted segments must belong to deployed vnets"
+            );
+            if lifecycle_on {
+                let (round, slot) = (rec.addr.round, rec.addr.slot.0);
+                let mut i = 0;
+                while i < pending_continuous.len() {
+                    if rec.start >= pending_continuous[i].1 {
+                        engine.flightrec_mut().fault_injected(pending_continuous[i].0, round, slot);
+                        pending_continuous.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Expire before scanning for new windows, so a same-slot
+                // re-activation is recorded cleared-then-injected.
+                let mut i = 0;
+                while i < active_windows.len() {
+                    if rec.start >= active_windows[i].1 {
+                        engine.flightrec_mut().fault_cleared(active_windows[i].0, round, slot);
+                        active_windows.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                while seen_windows < env.log().windows.len() {
+                    let w = env.log().windows[seen_windows];
+                    seen_windows += 1;
+                    engine.flightrec_mut().fault_injected(w.fault_id, round, slot);
+                    if w.until < SimTime::MAX {
+                        active_windows.push((w.fault_id, w.until));
+                    }
                 }
             }
-            // Expire before scanning for new windows, so a same-slot
-            // re-activation is recorded cleared-then-injected.
-            let mut i = 0;
-            while i < active_windows.len() {
-                if rec.start >= active_windows[i].1 {
-                    engine.flightrec_mut().fault_cleared(active_windows[i].0, round, slot);
-                    active_windows.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-            while seen_windows < env.log().windows.len() {
-                let w = env.log().windows[seen_windows];
-                seen_windows += 1;
-                engine.flightrec_mut().fault_injected(w.fault_id, round, slot);
-                if w.until < SimTime::MAX {
-                    active_windows.push((w.fault_id, w.until));
-                }
-            }
-        }
-        // The diagnostic path is itself subject to the fault model: bridge
-        // the environment's active path disturbance into the engine.
-        engine.inject_disturbance(env.diag_disturbance());
-        engine.on_slot(&sim, &rec);
-        obd.on_slot(&sim, &rec);
-        for ex in extras.iter_mut() {
-            ex.on_slot(&sim, &rec);
-        }
-        if rec.addr.slot.0 == spr - 1 {
-            engine.on_round_end(&sim, &rec);
-            obd.on_round_end(&sim, &rec);
+            // The diagnostic path is itself subject to the fault model:
+            // bridge the environment's active path disturbance into the
+            // engine.
+            engine.inject_disturbance(env.diag_disturbance());
+            engine.on_slot(sim, rec);
+            obd.on_slot(sim, rec);
             for ex in extras.iter_mut() {
-                ex.on_round_end(&sim, &rec);
+                ex.on_slot(sim, rec);
             }
-        }
-        observe(&sim, &engine, &rec);
+            if rec.addr.slot.0 == spr - 1 {
+                engine.on_round_end(sim, rec);
+                obd.on_round_end(sim, rec);
+                for ex in extras.iter_mut() {
+                    ex.on_round_end(sim, rec);
+                }
+            }
+            observe(sim, &engine, rec);
+        });
     }
     let end = sim.now();
     let report = engine.report();

@@ -8,7 +8,6 @@
 use crate::symptom::{QueueSide, Subject, Symptom, SymptomKind};
 use decos_platform::{ClusterSim, JobBehavior, JobId, NodeId, ObsKind, PortLif, SlotRecord};
 use decos_vnet::{PortId, VnetId};
-use std::collections::BTreeMap;
 
 /// Thresholds of the value-domain detectors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,75 +23,98 @@ impl Default for DetectorParams {
     }
 }
 
+/// One registered TMR voter: identity, replica input ports, and the
+/// last-seen divergence/no-majority counters, kept inline so the per-round
+/// sweep walks one contiguous slice.
+struct VoterRow {
+    id: JobId,
+    inputs: [PortId; 3],
+    counts: [u64; 3],
+    no_majority: u64,
+}
+
 /// The detector bank for one cluster.
+///
+/// Storage is struct-of-arrays over the cluster's static description:
+/// LIF records live in one port-sorted slice (binary-searched per
+/// message), per-component expectations are node-indexed vectors, and the
+/// voter counters sit inline in the voter table — the per-slot detectors
+/// touch contiguous memory instead of chasing per-key tree nodes.
 pub struct SymptomDetectors {
     params: DetectorParams,
-    /// LIF records by producing port.
-    lif_by_port: BTreeMap<PortId, PortLif>,
-    /// State ports expected once per round, grouped by hosting component.
-    periodic_ports: BTreeMap<NodeId, Vec<(PortId, JobId)>>,
-    /// (node, vnet) → job whose receive queue lives there.
-    rx_consumer: BTreeMap<(NodeId, VnetId), JobId>,
-    /// (node, vnet) → job producing into that network from that node.
-    tx_producer: BTreeMap<(NodeId, VnetId), JobId>,
-    /// Voter jobs with their replica input ports.
-    voters: Vec<(JobId, [PortId; 3])>,
-    /// Last seen divergence counts per voter, per replica.
-    voter_counts: BTreeMap<JobId, [u64; 3]>,
-    /// Last seen no-majority counts per voter.
-    voter_no_majority: BTreeMap<JobId, u64>,
+    /// LIF records sorted by producing port (binary search).
+    lif_by_port: Vec<PortLif>,
+    /// State ports expected once per round, indexed by hosting component.
+    periodic_ports: Vec<Vec<(PortId, JobId)>>,
+    /// (node, vnet) → job whose receive queue lives there; sorted.
+    rx_consumer: Vec<((NodeId, VnetId), JobId)>,
+    /// (node, vnet) → job producing into that network from that node;
+    /// sorted.
+    tx_producer: Vec<((NodeId, VnetId), JobId)>,
+    /// Voter jobs with their replica ports and last-seen counters.
+    voters: Vec<VoterRow>,
 }
 
 impl SymptomDetectors {
     /// Builds the detector bank from the cluster's static description.
     pub fn new(sim: &ClusterSim) -> Self {
         let params = DetectorParams::default();
-        let lif_by_port: BTreeMap<PortId, PortLif> =
-            sim.lif().iter().map(|l| (l.port, l.clone())).collect();
+        let mut lif_by_port: Vec<PortLif> = sim.lif().to_vec();
+        lif_by_port.sort_unstable_by_key(|l| l.port);
 
-        let mut periodic_ports: BTreeMap<NodeId, Vec<(PortId, JobId)>> = BTreeMap::new();
+        let n = sim.spec().n_components();
+        let mut periodic_ports: Vec<Vec<(PortId, JobId)>> = vec![Vec::new(); n];
         for l in sim.lif() {
             if matches!(l.rate, decos_platform::RateLif::PeriodicPerRound) {
-                periodic_ports.entry(l.host).or_default().push((l.port, l.producer));
+                periodic_ports[l.host.0 as usize].push((l.port, l.producer));
             }
         }
 
-        let mut rx_consumer = BTreeMap::new();
-        let mut tx_producer = BTreeMap::new();
+        let mut rx_consumer = Vec::new();
+        let mut tx_producer = Vec::new();
         let mut voters = Vec::new();
         for j in &sim.spec().jobs {
             for v in j.behavior.input_vnets() {
-                rx_consumer.insert((j.host, v), j.id);
+                rx_consumer.push(((j.host, v), j.id));
             }
             if let Some(v) = j.behavior.output_vnet() {
-                tx_producer.insert((j.host, v), j.id);
+                tx_producer.push(((j.host, v), j.id));
             }
             if let JobBehavior::TmrVoter { inputs, .. } = &j.behavior {
-                voters.push((j.id, *inputs));
+                voters.push(VoterRow { id: j.id, inputs: *inputs, counts: [0; 3], no_majority: 0 });
             }
         }
-        let voter_counts = voters.iter().map(|(id, _)| (*id, [0u64; 3])).collect();
-        let voter_no_majority = voters.iter().map(|(id, _)| (*id, 0u64)).collect();
-        SymptomDetectors {
-            params,
-            lif_by_port,
-            periodic_ports,
-            rx_consumer,
-            tx_producer,
-            voters,
-            voter_counts,
-            voter_no_majority,
-        }
+        // Later inserts win on duplicate keys, matching map semantics.
+        rx_consumer.sort_by_key(|&(k, _)| k);
+        rx_consumer.dedup_by(|later, earlier| {
+            let dup = later.0 == earlier.0;
+            if dup {
+                earlier.1 = later.1;
+            }
+            dup
+        });
+        tx_producer.sort_by_key(|&(k, _)| k);
+        tx_producer.dedup_by(|later, earlier| {
+            let dup = later.0 == earlier.0;
+            if dup {
+                earlier.1 = later.1;
+            }
+            dup
+        });
+        SymptomDetectors { params, lif_by_port, periodic_ports, rx_consumer, tx_producer, voters }
     }
 
     /// LIF record of a port (used by downstream pattern analysis).
     pub fn lif(&self, port: PortId) -> Option<&PortLif> {
-        self.lif_by_port.get(&port)
+        self.lif_by_port.binary_search_by_key(&port, |l| l.port).ok().map(|i| &self.lif_by_port[i])
     }
 
     /// The job consuming network `vnet` on component `node`, if any.
     pub fn consumer_of(&self, node: NodeId, vnet: VnetId) -> Option<JobId> {
-        self.rx_consumer.get(&(node, vnet)).copied()
+        self.rx_consumer
+            .binary_search_by_key(&(node, vnet), |&(k, _)| k)
+            .ok()
+            .map(|i| self.rx_consumer[i].1)
     }
 
     /// Runs all detectors over one slot record. Appends symptoms to `out`
@@ -136,7 +158,8 @@ impl SymptomDetectors {
             // 2. Value-domain checks of carried messages against the LIF.
             for (_, msgs) in &rec.sent {
                 for m in msgs {
-                    if let Some(lif) = self.lif_by_port.get(&m.src) {
+                    if let Ok(li) = self.lif_by_port.binary_search_by_key(&m.src, |l| l.port) {
+                        let lif = &self.lif_by_port[li];
                         if lif.value_violation(m.value) {
                             out.push(Symptom {
                                 at: rec.start,
@@ -165,7 +188,8 @@ impl SymptomDetectors {
 
             // 3. Missed periodic messages: the component transmitted, but an
             //    expected state port is absent from the frame.
-            if let Some(expected) = self.periodic_ports.get(&owner) {
+            {
+                let expected = &self.periodic_ports[owner.0 as usize];
                 for (port, job) in expected {
                     let present =
                         rec.sent.iter().any(|(_, msgs)| msgs.iter().any(|m| m.src == *port));
@@ -187,8 +211,9 @@ impl SymptomDetectors {
             if d.tx > 0 {
                 let subject = self
                     .tx_producer
-                    .get(&(d.node, d.vnet))
-                    .map(|j| Subject::Job(*j))
+                    .binary_search_by_key(&(d.node, d.vnet), |&(k, _)| k)
+                    .ok()
+                    .map(|i| Subject::Job(self.tx_producer[i].1))
                     .unwrap_or(Subject::Component(d.node));
                 out.push(Symptom {
                     at: rec.start,
@@ -205,8 +230,9 @@ impl SymptomDetectors {
             if d.rx > 0 {
                 let subject = self
                     .rx_consumer
-                    .get(&(d.node, d.vnet))
-                    .map(|j| Subject::Job(*j))
+                    .binary_search_by_key(&(d.node, d.vnet), |&(k, _)| k)
+                    .ok()
+                    .map(|i| Subject::Job(self.rx_consumer[i].1))
                     .unwrap_or(Subject::Component(d.node));
                 out.push(Symptom {
                     at: rec.start,
@@ -250,21 +276,21 @@ impl SymptomDetectors {
         //    voter's divergence record is part of its host's interface
         //    state; sample deltas once per round.
         if rec.addr.slot.0 == 0 {
-            for (voter, inputs) in &self.voters {
-                let job = sim.job(*voter);
+            let lifs = &self.lif_by_port;
+            for v in &mut self.voters {
+                let job = sim.job(v.id);
                 let host = job.spec().host;
                 let div = job.divergence();
-                let counts = self.voter_counts.get_mut(voter).expect("voter registered");
                 for r in 0..3 {
                     let now = div.count(r);
-                    if now > counts[r] {
+                    if now > v.counts[r] {
                         // Attribute the divergence to the replica job that
                         // produced the outvoted port.
-                        let subject = self
-                            .lif_by_port
-                            .get(&inputs[r])
-                            .map(|l| Subject::Job(l.producer))
-                            .unwrap_or(Subject::Job(*voter));
+                        let subject = lifs
+                            .binary_search_by_key(&v.inputs[r], |l| l.port)
+                            .ok()
+                            .map(|i| Subject::Job(lifs[i].producer))
+                            .unwrap_or(Subject::Job(v.id));
                         out.push(Symptom {
                             at: rec.start,
                             point,
@@ -272,11 +298,10 @@ impl SymptomDetectors {
                             subject,
                             kind: SymptomKind::ReplicaDivergence { replica: r },
                         });
-                        counts[r] = now;
+                        v.counts[r] = now;
                     }
                 }
-                let nm = self.voter_no_majority.get_mut(voter).expect("voter registered");
-                *nm = div.no_majority();
+                v.no_majority = div.no_majority();
             }
         }
     }

@@ -25,17 +25,13 @@ pub struct DistributedState {
     spare: Vec<Vec<Symptom>>,
     /// History bound, in rounds.
     horizon_rounds: usize,
-    /// Comm-error rate (events/h windows) per subject component.
-    subject_err_rate: BTreeMap<NodeId, RateWindows>,
-    /// Comm-error rate per observer component.
-    observer_err_rate: BTreeMap<NodeId, RateWindows>,
+    /// Node-indexed per-component accumulator columns.
+    comps: ComponentColumns,
     /// Per-job recent value-symptom series: (time, deviation-or-proximity,
     /// violated?).
     job_value_series: BTreeMap<JobId, VecDeque<(SimTime, f64, bool)>>,
     /// Per-job counts by label.
     job_counts: BTreeMap<JobId, BTreeMap<&'static str, u64>>,
-    /// Per-component counts by label (comm errors, sync losses, ...).
-    comp_counts: BTreeMap<NodeId, BTreeMap<&'static str, u64>>,
     /// Trend window length.
     trend_window: SimDuration,
     /// Bound on per-job value series length.
@@ -54,11 +50,9 @@ impl DistributedState {
             recent: VecDeque::with_capacity(horizon_rounds + 1),
             spare: Vec::new(),
             horizon_rounds,
-            subject_err_rate: BTreeMap::new(),
-            observer_err_rate: BTreeMap::new(),
+            comps: ComponentColumns::default(),
             job_value_series: BTreeMap::new(),
             job_counts: BTreeMap::new(),
-            comp_counts: BTreeMap::new(),
             trend_window,
             series_cap: 4096,
             total: 0,
@@ -99,16 +93,10 @@ impl DistributedState {
             self.total += 1;
             match s.subject {
                 Subject::Component(n) => {
-                    *self.comp_counts.entry(n).or_default().entry(s.kind.label()).or_insert(0) += 1;
+                    self.comps.bump(n, s.kind.label());
                     if s.kind.is_comm_error() {
-                        self.subject_err_rate
-                            .entry(n)
-                            .or_insert_with(|| RateWindows::new(SimTime::ZERO, self.trend_window))
-                            .record(s.at);
-                        self.observer_err_rate
-                            .entry(s.observer)
-                            .or_insert_with(|| RateWindows::new(SimTime::ZERO, self.trend_window))
-                            .record(s.at);
+                        self.comps.subject_rate(n, self.trend_window).record(s.at);
+                        self.comps.observer_rate(s.observer, self.trend_window).record(s.at);
                     }
                 }
                 Subject::Job(j) => {
@@ -180,23 +168,23 @@ impl DistributedState {
     /// Long-horizon comm-error rate trend (slope of events/hour) about a
     /// subject component; `None` with fewer than two windows of history.
     pub fn subject_err_trend(&self, n: NodeId) -> Option<f64> {
-        self.subject_err_rate.get(&n).and_then(RateWindows::trend_slope)
+        self.comps.subject(n).and_then(RateWindows::trend_slope)
     }
 
     /// Total comm errors recorded about a subject component.
     pub fn subject_err_total(&self, n: NodeId) -> u64 {
-        self.subject_err_rate.get(&n).map(RateWindows::total).unwrap_or(0)
+        self.comps.subject(n).map(RateWindows::total).unwrap_or(0)
     }
 
     /// Per-window comm-error counts about a subject (the wearout trend
     /// series of experiment E6/E7).
     pub fn subject_err_windows(&self, n: NodeId) -> Option<&[u64]> {
-        self.subject_err_rate.get(&n).map(RateWindows::counts)
+        self.comps.subject(n).map(RateWindows::counts)
     }
 
     /// Count of a symptom label for a component subject.
     pub fn comp_count(&self, n: NodeId, label: &'static str) -> u64 {
-        self.comp_counts.get(&n).and_then(|m| m.get(label)).copied().unwrap_or(0)
+        self.comps.count(n, label)
     }
 
     /// Count of a symptom label for a job subject.
@@ -209,14 +197,86 @@ impl DistributedState {
         self.job_counts.keys().copied()
     }
 
-    /// All components with any recorded symptom.
+    /// All components with any recorded symptom, in ascending node order.
     pub fn symptomatic_components(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.comp_counts.keys().copied()
+        self.comps.symptomatic()
     }
 
     /// The recorded value-symptom series of a job.
     pub fn job_value_series(&self, j: JobId) -> Option<&VecDeque<(SimTime, f64, bool)>> {
         self.job_value_series.get(&j)
+    }
+}
+
+/// Per-component long-horizon accumulators in struct-of-arrays layout.
+///
+/// Every column is a flat vector indexed by [`NodeId`] and grown on
+/// demand, so the hot tally path is an index plus a short linear scan of
+/// the component's label counts instead of two `BTreeMap` descents per
+/// symptom. The `symptomatic` flag column records which components have
+/// ever been a symptom *subject* (the former `comp_counts` key set);
+/// observer-side rate windows are tracked separately because a component
+/// can observe errors without ever being blamed for one.
+#[derive(Default)]
+struct ComponentColumns {
+    /// Has this component ever been the subject of a symptom?
+    symptomatic: Vec<bool>,
+    /// Symptom-label counts per component (few distinct labels — linear
+    /// scan beats a map).
+    counts: Vec<Vec<(&'static str, u64)>>,
+    /// Comm-error rate windows per subject component.
+    subject_err: Vec<Option<RateWindows>>,
+    /// Comm-error rate windows per observer component.
+    observer_err: Vec<Option<RateWindows>>,
+}
+
+impl ComponentColumns {
+    fn ensure(&mut self, i: usize) {
+        if i >= self.symptomatic.len() {
+            self.symptomatic.resize(i + 1, false);
+            self.counts.resize_with(i + 1, Vec::new);
+            self.subject_err.resize_with(i + 1, || None);
+            self.observer_err.resize_with(i + 1, || None);
+        }
+    }
+
+    fn bump(&mut self, n: NodeId, label: &'static str) {
+        let i = n.0 as usize;
+        self.ensure(i);
+        self.symptomatic[i] = true;
+        let col = &mut self.counts[i];
+        match col.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, c)) => *c += 1,
+            None => col.push((label, 1)),
+        }
+    }
+
+    fn subject_rate(&mut self, n: NodeId, window: SimDuration) -> &mut RateWindows {
+        let i = n.0 as usize;
+        self.ensure(i);
+        self.subject_err[i].get_or_insert_with(|| RateWindows::new(SimTime::ZERO, window))
+    }
+
+    fn observer_rate(&mut self, n: NodeId, window: SimDuration) -> &mut RateWindows {
+        let i = n.0 as usize;
+        self.ensure(i);
+        self.observer_err[i].get_or_insert_with(|| RateWindows::new(SimTime::ZERO, window))
+    }
+
+    fn subject(&self, n: NodeId) -> Option<&RateWindows> {
+        self.subject_err.get(n.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn count(&self, n: NodeId, label: &'static str) -> u64 {
+        self.counts
+            .get(n.0 as usize)
+            .and_then(|col| col.iter().find(|(l, _)| *l == label))
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    fn symptomatic(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.symptomatic.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| NodeId(i as u16))
     }
 }
 

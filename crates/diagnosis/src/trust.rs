@@ -24,8 +24,8 @@
 
 use crate::patterns::PatternMatch;
 use decos_faults::{FaultClass, FruRef};
+use decos_platform::{JobId, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Trust dynamics parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,10 +63,24 @@ pub fn class_severity(class: FaultClass) -> f64 {
 }
 
 /// The per-FRU trust assessor.
+///
+/// Trust is stored struct-of-arrays: component trust lives in a flat
+/// vector indexed by [`NodeId`] (with a parallel touched-flag column) and
+/// job trust in a [`JobId`]-sorted vector, so the per-round recovery
+/// sweep walks contiguous memory instead of chasing tree nodes. Iteration
+/// order of [`tracked`](FruAssessor::tracked) — components ascending,
+/// then jobs ascending — matches [`FruRef`]'s derived `Ord`, i.e. the
+/// order the former `BTreeMap<FruRef, f64>` storage produced.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FruAssessor {
     params: TrustParams,
-    trust: BTreeMap<FruRef, f64>,
+    /// Component trust by node index; meaningful only where the matching
+    /// `comp_tracked` flag is set.
+    comp_trust: Vec<f64>,
+    /// Which component slots have ever been touched by evidence.
+    comp_tracked: Vec<bool>,
+    /// Job trust, sorted by job id.
+    job_trust: Vec<(JobId, f64)>,
     /// Rounds skipped because delivery quality was below the freeze
     /// threshold.
     frozen_rounds: u64,
@@ -75,17 +89,72 @@ pub struct FruAssessor {
 impl FruAssessor {
     /// Creates an assessor; unknown FRUs implicitly start at trust 1.
     pub fn new(params: TrustParams) -> Self {
-        FruAssessor { params, trust: BTreeMap::new(), frozen_rounds: 0 }
+        FruAssessor {
+            params,
+            comp_trust: Vec::new(),
+            comp_tracked: Vec::new(),
+            job_trust: Vec::new(),
+            frozen_rounds: 0,
+        }
+    }
+
+    fn slot(&mut self, fru: FruRef) -> &mut f64 {
+        match fru {
+            FruRef::Component(n) => {
+                let i = n.0 as usize;
+                if i >= self.comp_trust.len() {
+                    self.comp_trust.resize(i + 1, 1.0);
+                    self.comp_tracked.resize(i + 1, false);
+                }
+                if !self.comp_tracked[i] {
+                    self.comp_tracked[i] = true;
+                    self.comp_trust[i] = 1.0;
+                }
+                &mut self.comp_trust[i]
+            }
+            FruRef::Job(j) => {
+                let i = match self.job_trust.binary_search_by_key(&j, |e| e.0) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        self.job_trust.insert(i, (j, 1.0));
+                        i
+                    }
+                };
+                &mut self.job_trust[i].1
+            }
+        }
     }
 
     /// The current trust level of a FRU.
     pub fn trust(&self, fru: FruRef) -> f64 {
-        self.trust.get(&fru).copied().unwrap_or(1.0)
+        match fru {
+            FruRef::Component(n) => {
+                let i = n.0 as usize;
+                if i < self.comp_trust.len() && self.comp_tracked[i] {
+                    self.comp_trust[i]
+                } else {
+                    1.0
+                }
+            }
+            FruRef::Job(j) => self
+                .job_trust
+                .binary_search_by_key(&j, |e| e.0)
+                .map(|i| self.job_trust[i].1)
+                .unwrap_or(1.0),
+        }
     }
 
-    /// All FRUs whose trust has ever been touched.
+    /// All FRUs whose trust has ever been touched, in [`FruRef`] order.
     pub fn tracked(&self) -> impl Iterator<Item = (FruRef, f64)> + '_ {
-        self.trust.iter().map(|(f, t)| (*f, *t))
+        let comps = self
+            .comp_trust
+            .iter()
+            .zip(self.comp_tracked.iter())
+            .enumerate()
+            .filter(|(_, (_, &tracked))| tracked)
+            .map(|(i, (t, _))| (FruRef::Component(NodeId(i as u16)), *t));
+        let jobs = self.job_trust.iter().map(|&(j, t)| (FruRef::Job(j), t));
+        comps.chain(jobs)
     }
 
     /// Applies one round of pattern matches, then lets every tracked FRU
@@ -112,12 +181,19 @@ impl FruAssessor {
             return;
         }
         for m in matches {
-            let entry = self.trust.entry(m.fru).or_insert(1.0);
             let hit = self.params.decay_weight * m.confidence * class_severity(m.class);
-            *entry *= 1.0 - hit.clamp(0.0, 1.0);
+            let factor = 1.0 - hit.clamp(0.0, 1.0);
+            *self.slot(m.fru) *= factor;
         }
-        for t in self.trust.values_mut() {
-            *t += self.params.recovery_per_round * q * (1.0 - *t);
+        let rate = self.params.recovery_per_round * q;
+        for (t, &tracked) in self.comp_trust.iter_mut().zip(self.comp_tracked.iter()) {
+            if tracked {
+                *t += rate * (1.0 - *t);
+                *t = t.clamp(0.0, 1.0);
+            }
+        }
+        for (_, t) in &mut self.job_trust {
+            *t += rate * (1.0 - *t);
             *t = t.clamp(0.0, 1.0);
         }
     }

@@ -365,6 +365,29 @@ impl Environment for FaultEnvironment {
         }
     }
 
+    fn cluster_disturbed(&self, now: SimTime) -> bool {
+        // Mirrors the guards of `tx_effect` / `rx_disturbance` /
+        // `pre_dispatch` / `filter_outputs`: those hooks act (or draw
+        // randomness) only for always-on kinds past onset or for active
+        // episodes of application-path kinds. Diagnostic-path kinds
+        // manifest on the diagnosis transport, never on the slot hooks.
+        self.faults.iter().any(|f| {
+            now >= f.spec.onset
+                && (f.spec.kind.perturbs_cluster_from_onset()
+                    || (f.is_active(now) && !f.spec.kind.is_diag_path()))
+        })
+    }
+
+    fn window_quiescent(&self, from: SimTime, to: SimTime) -> bool {
+        // A fault inactive at the window start can only become active via
+        // the per-slot Bernoulli trial, which requires `now >= onset` —
+        // impossible inside the window when every onset lies at or beyond
+        // its end. Diagnostic-path kinds are deliberately included:
+        // `diag_disturbance` reads the `begin_slot`-maintained clock, so
+        // skipping `begin_slot` is sound only while they too are dormant.
+        self.faults.iter().all(|f| !f.is_active(from) && f.spec.onset >= to)
+    }
+
     fn component_directive(&mut self, now: SimTime, node: NodeId) -> Option<ComponentDirective> {
         for f in &mut self.faults {
             match &f.spec.kind {

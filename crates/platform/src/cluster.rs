@@ -22,8 +22,8 @@ use decos_sim::telemetry::{Phase, Spans};
 use decos_sim::time::{SimDuration, SimTime};
 use decos_timebase::{fta_round_in_place, ActionLattice, SyncStatus};
 use decos_ttnet::{
-    BroadcastBus, ChannelParams, Frame, MembershipChange, MembershipParams, ResolveScratch,
-    RxDisturbance, SlotAddress, SlotVerdict, TdmaSchedule, TxSignal,
+    BroadcastBus, ChannelParams, Frame, GuardianMode, MembershipChange, MembershipParams,
+    ResolveScratch, RoundPlan, RxDisturbance, SlotAddress, SlotVerdict, TdmaSchedule, TxSignal,
 };
 use decos_vnet::{encode_segment, ConfigDefect, Message, VnetConfig, VnetId};
 use rand::rngs::SmallRng;
@@ -353,9 +353,15 @@ struct StepScratch {
     corrections: Vec<i64>,
     /// Post-correction deviations.
     post: Vec<i64>,
-    /// Per-(component, vnet) overflow counters at slot entry / exit.
-    overflow_before: Vec<(NodeId, VnetId, u64, u64)>,
-    overflow_after: Vec<(NodeId, VnetId, u64, u64)>,
+    /// Persistent per-(component, vnet) overflow shadow: the counter
+    /// values as of the end of the previous slot (refreshed when a restart
+    /// resets a component's endpoints). Counters are monotonic between
+    /// refresh points, so comparing one running sum against
+    /// `overflow_sum` detects "any change this slot" in a single pass; the
+    /// shadow is only walked when the sum moved.
+    overflow_shadow: Vec<(NodeId, VnetId, u64, u64)>,
+    /// Sum of every shadowed counter.
+    overflow_sum: u64,
     /// Job dispatch output buffer.
     msgs: Vec<Message>,
     /// The frame under construction for this slot's transmission.
@@ -378,10 +384,25 @@ fn overflow_snapshot_into(comps: &[ComponentState], out: &mut Vec<(NodeId, VnetI
     }
 }
 
+/// Sum of every endpoint's overflow counters, in shadow order.
+fn overflow_sum_of(comps: &[ComponentState]) -> u64 {
+    comps
+        .iter()
+        .flat_map(|c| c.endpoints.values())
+        .map(|ep| ep.tx_overflows().wrapping_add(ep.rx_overflows()))
+        .fold(0u64, u64::wrapping_add)
+}
+
 /// The running cluster.
 pub struct ClusterSim {
     spec: ClusterSpec,
     schedule: TdmaSchedule,
+    /// Flat per-round dispatch table precomputed from `schedule`: the hot
+    /// loop resolves owner/start/deadline by indexed load.
+    plan: RoundPlan,
+    /// Route every slot through the legacy per-slot body even when the
+    /// environment reports no disturbance (fast-path equivalence tests).
+    force_legacy: bool,
     lattice: ActionLattice,
     lif: Vec<PortLif>,
     bus: BroadcastBus,
@@ -390,6 +411,13 @@ pub struct ClusterSim {
     job_index: BTreeMap<JobId, usize>,
     /// Per-sender frame layout: ordered (vnet, segment bytes).
     tx_layouts: Vec<Vec<(VnetId, usize)>>,
+    /// Per-component hosted-job indices into `jobs` (same order as
+    /// `ComponentState::hosted`), so the slot loop never hits `job_index`.
+    hosted_idx: Vec<Vec<usize>>,
+    /// The tighter of the guardian and receive windows: the clean-slot
+    /// fast path's admission bound (channel parameters are fixed at
+    /// construction).
+    fast_window_ns: u64,
     /// Per-component set of networks any hosted job consumes from.
     rx_vnets: Vec<std::collections::BTreeSet<VnetId>>,
     next: SlotAddress,
@@ -483,35 +511,67 @@ impl ClusterSim {
             .collect();
 
         let jobs: Vec<JobRuntime> = spec.jobs.iter().cloned().map(JobRuntime::new).collect();
-        let job_index = jobs.iter().enumerate().map(|(i, j)| (j.spec().id, i)).collect();
+        let job_index: BTreeMap<JobId, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.spec().id, i)).collect();
         let job_rngs = jobs.iter().map(|j| seeds.stream("job", j.spec().id.0 as u64)).collect();
+        let hosted_idx: Vec<Vec<usize>> =
+            comps.iter().map(|c| c.hosted().iter().map(|jid| job_index[jid]).collect()).collect();
 
         let round_len = schedule.round_len();
+        let plan = schedule.round_plan();
+        // The overflow shadow starts in sync with the fresh (all-zero)
+        // endpoint counters.
+        let mut scratch = StepScratch::default();
+        overflow_snapshot_into(&comps, &mut scratch.overflow_shadow);
+        let params = ChannelParams::default();
+        let fast_window_ns = match params.guardian {
+            GuardianMode::Enforcing { window_half_ns } => {
+                window_half_ns.min(params.rx_window_half_ns)
+            }
+            GuardianMode::None => params.rx_window_half_ns,
+        };
         Ok(ClusterSim {
             spec,
             schedule,
+            plan,
+            force_legacy: false,
             lattice,
             lif,
-            bus: BroadcastBus::new(ChannelParams::default()),
+            bus: BroadcastBus::new(params),
             comps,
             jobs,
             job_index,
             tx_layouts,
+            hosted_idx,
+            fast_window_ns,
             rx_vnets,
             next: SlotAddress { round: 0, slot: decos_ttnet::SlotIndex(0) },
             rng_bus: seeds.stream("bus", 0),
             job_rngs,
             round_len,
-            scratch: StepScratch::default(),
+            scratch,
             spans: Spans::disabled(),
         })
+    }
+
+    /// Routes every slot through the legacy per-slot body, ignoring the
+    /// environment's disturbance hints. The fast and legacy paths are
+    /// bit-identical by contract; this switch exists so equivalence tests
+    /// can pin that contract.
+    pub fn force_legacy_path(&mut self, on: bool) {
+        self.force_legacy = on;
+    }
+
+    /// The precomputed per-round dispatch table.
+    pub fn round_plan(&self) -> &RoundPlan {
+        &self.plan
     }
 
     /// Turns on per-phase wall-time telemetry for the simulation half of
     /// the slot pipeline ([`Phase::Kernel`] and [`Phase::TtNet`]). Off by
     /// default so uninstrumented runs never read the wall clock.
     pub fn enable_telemetry(&mut self) {
-        self.spans.enable();
+        self.spans.enable_sampled(decos_sim::telemetry::SPAN_SAMPLE_STRIDE);
     }
 
     /// The recorded simulation-side spans (empty unless
@@ -583,10 +643,10 @@ impl ClusterSim {
 
     /// Round-boundary housekeeping: lifecycle directives, oscillator drift
     /// updates and fault-tolerant clock resynchronization.
-    fn round_boundary(
+    fn round_boundary<E: Environment + ?Sized>(
         &mut self,
         t: SimTime,
-        env: &mut dyn Environment,
+        env: &mut E,
         rec: &mut SlotRecord,
         scratch: &mut StepScratch,
     ) {
@@ -679,12 +739,56 @@ impl ClusterSim {
     /// calls (same RNG draw order; see
     /// `BroadcastBus::resolve_slot_into`).
     pub fn step_slot_into(&mut self, env: &mut dyn Environment, rec: &mut SlotRecord) {
+        self.step_slot_inner(env, rec, false);
+    }
+
+    /// Advances the simulation over every remaining slot of the current
+    /// round (a whole round when entered at a round boundary), feeding
+    /// each record — and the environment, for post-slot bookkeeping — to
+    /// `sink`.
+    ///
+    /// This is the round-batched dispatch mode: the environment is probed
+    /// once for quiescence over the whole window, and a quiescent round
+    /// runs without any per-slot environment calls. The observable
+    /// behaviour is bit-identical to per-slot stepping; only the work done
+    /// per slot changes.
+    pub fn step_round_with<E: Environment + ?Sized>(
+        &mut self,
+        env: &mut E,
+        rec: &mut SlotRecord,
+        sink: &mut dyn FnMut(&ClusterSim, &mut E, &SlotRecord),
+    ) {
+        let remaining = self.plan.slots().len() - self.next.slot.0 as usize;
+        let from = self.plan.start_of(self.next.round, self.next.slot.0 as usize);
+        let to = self.plan.round_start(self.next.round + 1);
+        let quiescent = !self.force_legacy && env.window_quiescent(from, to);
+        for _ in 0..remaining {
+            self.step_slot_inner(env, rec, quiescent);
+            sink(self, env, rec);
+        }
+    }
+
+    /// One slot step. `quiescent` marks a slot inside a window the
+    /// environment vouched for via [`Environment::window_quiescent`]:
+    /// `begin_slot` and the per-slot disturbance probe are skipped (both
+    /// are no-ops by that promise).
+    fn step_slot_inner<E: Environment + ?Sized>(
+        &mut self,
+        env: &mut E,
+        rec: &mut SlotRecord,
+        quiescent: bool,
+    ) {
         let mut phase_mark = self.spans.begin();
         let addr = self.next;
-        let t = self.schedule.start_of(addr);
-        self.next = self.schedule.next(addr);
-        let owner = self.schedule.owner(addr.slot);
+        let k = addr.slot.0 as usize;
+        let t = self.plan.start_of(addr.round, k);
+        let owner = self.plan.slots()[k].owner;
         let oidx = owner.0 as usize;
+        self.next = if k + 1 < self.plan.slots().len() {
+            SlotAddress { round: addr.round, slot: decos_ttnet::SlotIndex(addr.slot.0 + 1) }
+        } else {
+            SlotAddress { round: addr.round + 1, slot: decos_ttnet::SlotIndex(0) }
+        };
 
         // Detach the scratch so its buffers can be used freely alongside
         // `&mut self` field borrows; reattached at the end of the step.
@@ -692,45 +796,241 @@ impl ClusterSim {
 
         rec.reset(addr, t, owner, self.comps.len(), &mut scratch.sent_pool);
 
-        env.begin_slot(t, addr);
+        if !quiescent {
+            env.begin_slot(t, addr);
+        }
         if addr.slot.0 == 0 {
             self.round_boundary(t, env, rec, &mut scratch);
         }
 
-        // Complete pending restarts.
+        // Complete pending restarts. A completed restart reset the
+        // component's endpoints, so the overflow shadow must resync before
+        // this slot's accounting.
+        let mut restarted = false;
         for c in &mut self.comps {
             if c.poll_restart(t) {
                 rec.restarts_completed.push(c.node());
+                restarted = true;
+            }
+        }
+        if restarted {
+            overflow_snapshot_into(&self.comps, &mut scratch.overflow_shadow);
+            scratch.overflow_sum = overflow_sum_of(&self.comps);
+        }
+
+        // Clean-slot fast path: no disturbance may touch this slot, the
+        // owner transmits, and its send offset lies inside both the
+        // guardian and the receive windows — so every operational receiver
+        // is already known to judge `Correct`, and the CRC / guardian /
+        // channel machinery (whose outputs are fully determined) can be
+        // skipped. Any other situation takes the legacy body unchanged.
+        //
+        // The send offset is the owner's deviation from the cluster's
+        // global time base (the median deviation of operational clocks).
+        // The fast path admits on a cheaper sufficient bound — the total
+        // deviation *spread* of the operational clocks, which dominates
+        // any owner-to-median distance — so clean slots skip the median
+        // sort entirely; borderline slots fall back to the legacy body,
+        // whose behaviour is identical by contract.
+        let disturbed = !quiescent && (self.force_legacy || env.cluster_disturbed(t));
+        let operational = self.comps[oidx].is_operational(t);
+        let in_window = operational && {
+            let mut mn = i64::MAX;
+            let mut mx = i64::MIN;
+            for c in &self.comps {
+                if c.is_operational(t) {
+                    let d = c.clock.deviation_ns(t);
+                    mn = mn.min(d);
+                    mx = mx.max(d);
+                }
+            }
+            mx.saturating_sub(mn).unsigned_abs() <= self.fast_window_ns
+        };
+        if !disturbed && in_window {
+            self.fast_slot_body(addr, t, owner, rec, &mut scratch, &mut phase_mark);
+        } else {
+            // The global time base is what slot boundaries mean to cluster
+            // members: a sender's observable send offset is its deviation
+            // from the *synchronized* cluster time, not from omniscient
+            // physical time — common-mode drift is invisible inside the
+            // cluster.
+            let global_dev_ns: i64 = {
+                scratch.devs.clear();
+                scratch.devs.extend(
+                    self.comps
+                        .iter()
+                        .filter(|c| c.is_operational(t))
+                        .map(|c| c.clock.deviation_ns(t)),
+                );
+                median_i64(&mut scratch.devs)
+            };
+            self.legacy_slot_body(
+                env,
+                addr,
+                t,
+                owner,
+                operational,
+                global_dev_ns,
+                rec,
+                &mut scratch,
+                &mut phase_mark,
+            );
+        }
+
+        // --- Loss accounting ----------------------------------------------
+        // One summing pass; the shadow is only walked (and deltas only
+        // emitted) when some counter moved this slot.
+        let sum_now = overflow_sum_of(&self.comps);
+        if sum_now != scratch.overflow_sum {
+            let mut idx = 0usize;
+            for c in &self.comps {
+                for (id, ep) in &c.endpoints {
+                    let (tx, rx) = (ep.tx_overflows(), ep.rx_overflows());
+                    let s = &mut scratch.overflow_shadow[idx];
+                    debug_assert_eq!((s.0, s.1), (c.node(), *id));
+                    if tx != s.2 || rx != s.3 {
+                        rec.overflow_deltas.push(OverflowDelta {
+                            node: s.0,
+                            vnet: s.1,
+                            tx: tx - s.2,
+                            rx: rx - s.3,
+                        });
+                        s.2 = tx;
+                        s.3 = rx;
+                    }
+                    idx += 1;
+                }
+            }
+            scratch.overflow_sum = sum_now;
+        }
+
+        self.scratch = scratch;
+        self.spans.lap(Phase::TtNet, &mut phase_mark);
+    }
+
+    /// The branch-light clean-slot body: dispatch jobs, assemble the frame
+    /// payload, deliver it to subscribed receivers, and mark every
+    /// operational receiver `Correct` — without sealing/verifying the CRC,
+    /// running the guardian, or touching the environment. Only entered
+    /// when those steps' outcomes are fully determined (see
+    /// `step_slot_inner`).
+    fn fast_slot_body(
+        &mut self,
+        addr: SlotAddress,
+        t: SimTime,
+        owner: NodeId,
+        rec: &mut SlotRecord,
+        scratch: &mut StepScratch,
+        phase_mark: &mut Option<std::time::Instant>,
+    ) {
+        let oidx = owner.0 as usize;
+        // --- Sender side -------------------------------------------------
+        for h in 0..self.hosted_idx[oidx].len() {
+            let ji = self.hosted_idx[oidx][h];
+            let job = &mut self.jobs[ji];
+            scratch.msgs.clear();
+            {
+                let comp = &mut self.comps[oidx];
+                let mut ctx = DispatchCtx {
+                    now: t,
+                    round: self.round_len,
+                    endpoints: &mut comp.endpoints,
+                    rng: &mut self.job_rngs[ji],
+                };
+                job.dispatch_into(&mut ctx, &mut scratch.msgs);
+            }
+            if let Some(vnet) = job.spec().behavior.output_vnet() {
+                let comp = &mut self.comps[oidx];
+                if let Some(ep) = comp.endpoints.get_mut(&vnet) {
+                    for m in scratch.msgs.drain(..) {
+                        ep.send(m);
+                    }
+                }
             }
         }
 
-        overflow_snapshot_into(&self.comps, &mut scratch.overflow_before);
+        // Drain endpoints into the frame payload (unsealed: nothing can
+        // corrupt it, so the CRC is never computed or checked), with local
+        // loopback.
+        scratch.tx_frame.reset_for(owner, addr.round, addr.slot);
+        for s in 0..self.tx_layouts[oidx].len() {
+            let (vnet, bytes) = self.tx_layouts[oidx][s];
+            let comp = &mut self.comps[oidx];
+            let ep = comp.endpoints.get_mut(&vnet).expect("layout vnet has endpoint");
+            let mut msgs = scratch.sent_pool.pop().unwrap_or_default();
+            ep.drain_for_slot_into(&mut msgs);
+            if self.rx_vnets[oidx].contains(&vnet) {
+                // Local loopback only where a local job consumes.
+                let ep =
+                    self.comps[oidx].endpoints.get_mut(&vnet).expect("layout vnet has endpoint");
+                for m in &msgs {
+                    ep.deliver_message(*m);
+                }
+            }
+            encode_segment(&msgs, bytes, &mut scratch.tx_frame.payload);
+            rec.sent.push((vnet, msgs));
+        }
+        rec.transmitted = true;
+        self.spans.lap(Phase::Kernel, phase_mark);
 
-        // The cluster's global time base is what slot boundaries mean to
-        // its members: a sender's observable send offset is its deviation
-        // from the *synchronized* cluster time (mean deviation of the
-        // operational clocks), not from omniscient physical time — common-
-        // mode drift is invisible inside the cluster.
-        let global_dev_ns: i64 = {
-            scratch.devs.clear();
-            scratch.devs.extend(
-                self.comps.iter().filter(|c| c.is_operational(t)).map(|c| c.clock.deviation_ns(t)),
-            );
-            median_i64(&mut scratch.devs)
-        };
+        // --- Receivers: every operational non-owner judges `Correct` -----
+        let payload = &scratch.tx_frame.payload;
+        for i in 0..self.comps.len() {
+            if i == oidx {
+                rec.observations[i] = ObsKind::Own;
+                continue;
+            }
+            if !self.comps[i].is_operational(t) {
+                rec.observations[i] = ObsKind::Offline;
+                continue;
+            }
+            let node = self.comps[i].node();
+            rec.observations[i] = ObsKind::Correct;
+            if let Some(change) = self.comps[i].membership.observe_slot(owner, true) {
+                rec.membership_changes.push((node, change));
+            }
+            let mut off = 0usize;
+            for s in 0..self.tx_layouts[oidx].len() {
+                let (vnet, bytes) = self.tx_layouts[oidx][s];
+                let seg = &payload[off..(off + bytes).min(payload.len())];
+                off += bytes;
+                if !self.rx_vnets[i].contains(&vnet) {
+                    continue;
+                }
+                let comp = &mut self.comps[i];
+                if let Some(ep) = comp.endpoints.get_mut(&vnet) {
+                    let _ = ep.deliver_segment(seg);
+                }
+            }
+        }
+    }
 
+    /// The exact pre-fast-path slot body: environment hooks, frame
+    /// seal/verify, guardian, channel resolution.
+    #[allow(clippy::too_many_arguments)]
+    fn legacy_slot_body<E: Environment + ?Sized>(
+        &mut self,
+        env: &mut E,
+        addr: SlotAddress,
+        t: SimTime,
+        owner: NodeId,
+        operational: bool,
+        global_dev_ns: i64,
+        rec: &mut SlotRecord,
+        scratch: &mut StepScratch,
+        phase_mark: &mut Option<std::time::Instant>,
+    ) {
+        let oidx = owner.0 as usize;
         // --- Sender side -------------------------------------------------
         let tx_dist = env.tx_disturbance(t, owner);
-        let operational = self.comps[oidx].is_operational(t);
         let transmitted = operational && !tx_dist.silence;
         let mut tx_offset_ns = 0i64;
         let mut tx_corrupt_bits = 0u32;
         if transmitted {
             // Dispatch hosted jobs (by index — the hosted list must not be
             // cloned, and jobs never change hosts at runtime).
-            for h in 0..self.comps[oidx].hosted().len() {
-                let jid = self.comps[oidx].hosted()[h];
-                let ji = self.job_index[&jid];
+            for h in 0..self.hosted_idx[oidx].len() {
+                let ji = self.hosted_idx[oidx][h];
                 let job = &mut self.jobs[ji];
                 env.pre_dispatch(t, job);
                 scratch.msgs.clear();
@@ -782,7 +1082,7 @@ impl ClusterSim {
             tx_corrupt_bits = tx_dist.corrupt_bits;
         }
         rec.transmitted = transmitted;
-        self.spans.lap(Phase::Kernel, &mut phase_mark);
+        self.spans.lap(Phase::Kernel, phase_mark);
 
         // --- Channel ------------------------------------------------------
         scratch.rx_dist.clear();
@@ -843,38 +1143,21 @@ impl ClusterSim {
                 }
             }
         }
-
-        // --- Loss accounting ------------------------------------------------
-        overflow_snapshot_into(&self.comps, &mut scratch.overflow_after);
-        for (b, a) in scratch.overflow_before.iter().zip(&scratch.overflow_after) {
-            debug_assert_eq!((b.0, b.1), (a.0, a.1));
-            if a.2 != b.2 || a.3 != b.3 {
-                rec.overflow_deltas.push(OverflowDelta {
-                    node: a.0,
-                    vnet: a.1,
-                    tx: a.2 - b.2,
-                    rx: a.3 - b.3,
-                });
-            }
-        }
-
-        self.scratch = scratch;
-        self.spans.lap(Phase::TtNet, &mut phase_mark);
     }
 
     /// Runs `n` whole rounds, feeding every record to `sink` (one reused
-    /// record; `sink` must copy anything it wants to keep).
+    /// record; `sink` must copy anything it wants to keep). Round-batched:
+    /// each round goes through
+    /// [`step_round_with`](ClusterSim::step_round_with).
     pub fn run_rounds(
         &mut self,
         n: u64,
         env: &mut dyn Environment,
         sink: &mut dyn FnMut(&ClusterSim, &SlotRecord),
     ) {
-        let slots = n * self.schedule.slots_per_round() as u64;
         let mut rec = SlotRecord::empty();
-        for _ in 0..slots {
-            self.step_slot_into(env, &mut rec);
-            sink(self, &rec);
+        for _ in 0..n {
+            self.step_round_with(env, &mut rec, &mut |sim, _env, rec| sink(sim, rec));
         }
     }
 }

@@ -61,6 +61,35 @@ pub trait Environment {
     /// Called once at the start of every slot, before any other hook.
     fn begin_slot(&mut self, _now: SimTime, _addr: SlotAddress) {}
 
+    /// Whether any cluster-visible disturbance may be in effect at `now`.
+    ///
+    /// Returning `false` is a *promise* that, for this instant,
+    /// [`tx_disturbance`](Environment::tx_disturbance),
+    /// [`rx_disturbance`](Environment::rx_disturbance),
+    /// [`pre_dispatch`](Environment::pre_dispatch) and
+    /// [`filter_outputs`](Environment::filter_outputs) are all no-ops that
+    /// also consume no randomness — the cluster may then skip those calls
+    /// entirely (the clean-slot fast path). Lifecycle directives and drift
+    /// are *not* covered: [`component_directive`](Environment::component_directive)
+    /// and [`extra_drift_ppm`](Environment::extra_drift_ppm) are polled at
+    /// round boundaries on every path. The conservative default keeps
+    /// custom environments on the exact per-slot path.
+    fn cluster_disturbed(&self, _now: SimTime) -> bool {
+        true
+    }
+
+    /// Whether the half-open window `[from, to)` is provably quiescent:
+    /// no fault can be active or *become* active anywhere inside it.
+    ///
+    /// Returning `true` is a *promise* that every
+    /// [`begin_slot`](Environment::begin_slot) call inside the window
+    /// would draw no randomness and change no observable state, so the
+    /// cluster may batch the whole round without per-slot environment
+    /// calls. The conservative default (`false`) keeps per-slot calls.
+    fn window_quiescent(&self, _from: SimTime, _to: SimTime) -> bool {
+        false
+    }
+
     /// Lifecycle directive for a component, polled once per round.
     fn component_directive(&mut self, _now: SimTime, _node: NodeId) -> Option<ComponentDirective> {
         None
@@ -98,7 +127,15 @@ pub trait Environment {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullEnvironment;
 
-impl Environment for NullEnvironment {}
+impl Environment for NullEnvironment {
+    fn cluster_disturbed(&self, _now: SimTime) -> bool {
+        false
+    }
+
+    fn window_quiescent(&self, _from: SimTime, _to: SimTime) -> bool {
+        true
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -398,6 +398,10 @@ fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
 #[derive(Debug, Clone, Copy)]
 pub struct Spans {
     enabled: bool,
+    /// Clock-read stride: every `stride`-th `begin` sequence is timed.
+    stride: u32,
+    /// Position within the current stride window.
+    tick: u32,
     stats: [SpanStats; Phase::COUNT],
 }
 
@@ -407,15 +411,36 @@ impl Default for Spans {
     }
 }
 
+/// Default sampling stride for the hot slot loop: one timed slot per
+/// `SPAN_SAMPLE_STRIDE` `begin` sequences. A clock read costs tens of
+/// nanoseconds — comparable to the phases being measured — so timing
+/// every slot would perturb exactly what the spans exist to observe.
+/// Sampling is deterministic (a pure function of the call sequence, no
+/// randomness), so span *counts* stay a pure function of the simulated
+/// horizon and identical across same-seed runs.
+pub const SPAN_SAMPLE_STRIDE: u32 = 16;
+
 impl Spans {
     /// Inert spans: recording is a no-op, the clock is never read.
     pub const fn disabled() -> Self {
-        Spans { enabled: false, stats: [SpanStats::ZERO; Phase::COUNT] }
+        Spans { enabled: false, stride: 1, tick: 0, stats: [SpanStats::ZERO; Phase::COUNT] }
     }
 
-    /// Turns recording on.
+    /// Turns recording on, timing every `begin` sequence.
     pub fn enable(&mut self) {
         self.enabled = true;
+        self.stride = 1;
+        self.tick = 0;
+    }
+
+    /// Turns recording on with 1-in-`stride` sampling: only every
+    /// `stride`-th `begin` sequence reads the clock (the first one
+    /// samples immediately, so even short runs record at least one span
+    /// per exercised phase). Laps between sampled begins are no-ops.
+    pub fn enable_sampled(&mut self, stride: u32) {
+        self.enabled = true;
+        self.stride = stride.max(1);
+        self.tick = self.stride - 1;
     }
 
     /// Whether recording is on.
@@ -423,9 +448,15 @@ impl Spans {
         self.enabled
     }
 
-    /// Starts a phase sequence: `Some(now)` when enabled, `None` when not.
-    pub fn begin(&self) -> Option<Instant> {
-        if self.enabled {
+    /// Starts a phase sequence: `Some(now)` on a sampled sequence, `None`
+    /// when disabled or between samples.
+    pub fn begin(&mut self) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        self.tick += 1;
+        if self.tick >= self.stride {
+            self.tick = 0;
             Some(Instant::now())
         } else {
             None

@@ -29,4 +29,4 @@ pub use bus::{
 pub use frame::{Frame, NodeId, SlotObservation};
 pub use guardian::{BusGuardian, GuardianMode, GuardianVerdict};
 pub use membership::{MembershipChange, MembershipParams, MembershipService, MembershipVector};
-pub use schedule::{SlotAddress, SlotIndex, TdmaSchedule};
+pub use schedule::{PlannedSlot, RoundPlan, SlotAddress, SlotIndex, TdmaSchedule};

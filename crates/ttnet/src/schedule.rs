@@ -69,22 +69,49 @@ impl TdmaSchedule {
         self.owners[slot.0 as usize]
     }
 
-    /// All slots owned by `node` within one round.
-    pub fn slots_of(&self, node: NodeId) -> Vec<SlotIndex> {
+    /// All slots owned by `node` within one round, in slot order.
+    ///
+    /// Allocation-free: the hot path queries slot ownership every round, so
+    /// this must not build a `Vec` per call.
+    pub fn slots_of(&self, node: NodeId) -> impl Iterator<Item = SlotIndex> + '_ {
         self.owners
             .iter()
             .enumerate()
-            .filter(|(_, &o)| o == node)
+            .filter(move |(_, &o)| o == node)
             .map(|(i, _)| SlotIndex(i as u16))
-            .collect()
     }
 
-    /// Distinct senders in the schedule.
-    pub fn nodes(&self) -> Vec<NodeId> {
-        let mut v = self.owners.clone();
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// Distinct senders in the schedule, in first-appearance order.
+    ///
+    /// Allocation-free; quadratic in the slot count, which is bounded by
+    /// `u16` and in practice a handful of slots per round.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(i, o)| !self.owners[..i].contains(o))
+            .map(|(_, &o)| o)
+    }
+
+    /// Precomputes the flat per-round dispatch table.
+    ///
+    /// Built once per campaign; the hot loop then walks `plan.slots()`
+    /// with pure array indexing instead of re-resolving `owner()` /
+    /// `slot_at()` / `start_of()` arithmetic every slot.
+    pub fn round_plan(&self) -> RoundPlan {
+        let slot_len_ns = self.slot_len.as_nanos();
+        let slots = self
+            .owners
+            .iter()
+            .enumerate()
+            .map(|(i, &owner)| PlannedSlot {
+                slot: SlotIndex(i as u16),
+                owner,
+                start_offset_ns: i as u64 * slot_len_ns,
+                deadline_offset_ns: (i as u64 + 1) * slot_len_ns,
+            })
+            .collect();
+        RoundPlan { slots, slot_len_ns, round_len_ns: self.round_len().as_nanos() }
     }
 
     /// The slot address active at instant `t`.
@@ -124,6 +151,61 @@ impl TdmaSchedule {
     }
 }
 
+/// One entry of a [`RoundPlan`]: everything the dispatch loop needs about
+/// a slot, resolved ahead of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSlot {
+    /// Position within the round.
+    pub slot: SlotIndex,
+    /// Statically assigned sender.
+    pub owner: NodeId,
+    /// Nominal start, as an offset from the round start in ns.
+    pub start_offset_ns: u64,
+    /// Nominal end of the slot (receive deadline), as an offset from the
+    /// round start in ns.
+    pub deadline_offset_ns: u64,
+}
+
+/// Flat per-round dispatch table precomputed from a [`TdmaSchedule`].
+///
+/// The schedule is static for the lifetime of a cluster, so every quantity
+/// the per-slot loop needs — owner, start instant, deadline — is a pure
+/// function of `(round, slot)`. Resolving them once up front turns the hot
+/// loop's schedule queries into indexed loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPlan {
+    slots: Vec<PlannedSlot>,
+    slot_len_ns: u64,
+    round_len_ns: u64,
+}
+
+impl RoundPlan {
+    /// The planned slots of one round, in transmission order.
+    pub fn slots(&self) -> &[PlannedSlot] {
+        &self.slots
+    }
+
+    /// Slot length in ns.
+    pub fn slot_len_ns(&self) -> u64 {
+        self.slot_len_ns
+    }
+
+    /// Round length in ns.
+    pub fn round_len_ns(&self) -> u64 {
+        self.round_len_ns
+    }
+
+    /// Nominal start instant of round `round`.
+    pub fn round_start(&self, round: u64) -> SimTime {
+        SimTime::from_nanos(round * self.round_len_ns)
+    }
+
+    /// Nominal start instant of slot `k` of round `round`.
+    pub fn start_of(&self, round: u64, k: usize) -> SimTime {
+        SimTime::from_nanos(round * self.round_len_ns + self.slots[k].start_offset_ns)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,8 +224,34 @@ mod tests {
         assert_eq!(s.slots_per_round(), 4);
         assert_eq!(s.round_len(), SimDuration::from_millis(4));
         assert_eq!(s.owner(SlotIndex(1)), NodeId(1));
-        assert_eq!(s.slots_of(NodeId(0)), vec![SlotIndex(0), SlotIndex(3)]);
-        assert_eq!(s.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(s.slots_of(NodeId(0)).collect::<Vec<_>>(), vec![SlotIndex(0), SlotIndex(3)]);
+        assert_eq!(s.nodes().collect::<Vec<_>>(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn round_plan_matches_schedule_arithmetic() {
+        let s = sched();
+        let plan = s.round_plan();
+        assert_eq!(plan.slots().len(), 4);
+        assert_eq!(plan.slot_len_ns(), s.slot_len().as_nanos());
+        assert_eq!(plan.round_len_ns(), s.round_len().as_nanos());
+        for round in [0u64, 1, 7] {
+            for (k, p) in plan.slots().iter().enumerate() {
+                let addr = SlotAddress { round, slot: SlotIndex(k as u16) };
+                assert_eq!(p.slot, addr.slot);
+                assert_eq!(p.owner, s.owner(addr.slot));
+                assert_eq!(plan.start_of(round, k), s.start_of(addr));
+                assert_eq!(
+                    p.deadline_offset_ns - p.start_offset_ns,
+                    s.slot_len().as_nanos(),
+                    "deadline is the end of the slot"
+                );
+            }
+            assert_eq!(
+                plan.round_start(round),
+                s.start_of(SlotAddress { round, slot: SlotIndex(0) })
+            );
+        }
     }
 
     #[test]
@@ -187,7 +295,7 @@ mod tests {
     fn round_robin_builder() {
         let s = TdmaSchedule::round_robin(5, SimDuration::from_micros(500));
         assert_eq!(s.slots_per_round(), 5);
-        assert_eq!(s.nodes().len(), 5);
+        assert_eq!(s.nodes().count(), 5);
         assert_eq!(s.round_len(), SimDuration::from_micros(2500));
     }
 

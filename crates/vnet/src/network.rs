@@ -34,6 +34,11 @@ pub struct VnetEndpoint {
     /// Segments that failed to decode (corruption past the CRC or a
     /// sender/receiver configuration mismatch).
     decode_errors: u64,
+    /// Cached sum of per-source receive-queue overflow counters, so the
+    /// per-slot loss accounting reads O(1) instead of walking `rx_queues`.
+    rx_overflow_total: u64,
+    /// Cached sum of per-source receive-queue accepted counters.
+    rx_accepted_total: u64,
 }
 
 impl VnetEndpoint {
@@ -46,6 +51,8 @@ impl VnetEndpoint {
             rx_state: BTreeMap::new(),
             rx_queues: BTreeMap::new(),
             decode_errors: 0,
+            rx_overflow_total: 0,
+            rx_accepted_total: 0,
         }
     }
 
@@ -139,7 +146,10 @@ impl VnetEndpoint {
             }
             PortKind::Event => {
                 let depth = self.cfg.rx_queue_depth.max(1);
-                self.rx_queues.entry(m.src).or_insert_with(|| EventPort::new(depth)).push(m);
+                match self.rx_queues.entry(m.src).or_insert_with(|| EventPort::new(depth)).push(m) {
+                    PushOutcome::Accepted => self.rx_accepted_total += 1,
+                    PushOutcome::Overflow => self.rx_overflow_total += 1,
+                }
             }
         }
     }
@@ -175,12 +185,20 @@ impl VnetEndpoint {
     /// Receive-side overflow count, summed over all source ports — the
     /// message-loss indicator of a configuration (job borderline) fault.
     pub fn rx_overflows(&self) -> u64 {
-        self.rx_queues.values().map(EventPort::overflows).sum()
+        debug_assert_eq!(
+            self.rx_overflow_total,
+            self.rx_queues.values().map(EventPort::overflows).sum::<u64>()
+        );
+        self.rx_overflow_total
     }
 
     /// Total messages accepted into receive queues.
     pub fn rx_accepted(&self) -> u64 {
-        self.rx_queues.values().map(EventPort::accepted).sum()
+        debug_assert_eq!(
+            self.rx_accepted_total,
+            self.rx_queues.values().map(EventPort::accepted).sum::<u64>()
+        );
+        self.rx_accepted_total
     }
 
     /// Decode failures observed.
@@ -196,6 +214,8 @@ impl VnetEndpoint {
         self.rx_state.clear();
         self.rx_queues.clear();
         self.decode_errors = 0;
+        self.rx_overflow_total = 0;
+        self.rx_accepted_total = 0;
     }
 }
 

@@ -1,0 +1,120 @@
+//! Fast-path vs legacy-path equivalence.
+//!
+//! The slot pipeline carries two bodies for the same slot semantics: the
+//! flattened fast path (taken when the environment reports the window
+//! quiescent or the slot undisturbed and every operational clock sits
+//! inside the admission window) and the legacy per-slot body (the exact
+//! original code, kept for disturbed slots). The refactor's contract is
+//! that the choice is *unobservable*: counters, gauges, the diagnostic
+//! report, the OBD verdict and the flight-recorder tape must be
+//! bit-identical whichever body ran. [`RunOptions::legacy_paths`] pins
+//! every slot to the legacy body, so running the same campaign twice —
+//! once with the dispatcher free to take the fast path, once forced
+//! legacy — and comparing the complete observable surface proves the
+//! contract over each fault family and, via proptest, over randomized
+//! campaign shapes.
+
+use decos::faults::campaign;
+use decos::prelude::*;
+use proptest::prelude::*;
+
+fn run_with(c: &Campaign, legacy: bool) -> decos::runner::CampaignOutcome {
+    let opts = RunOptions { telemetry: true, flightrec: true, legacy_paths: legacy };
+    run_campaign_opts(c, EngineParams::default(), opts, &mut [], |_, _, _| {}).unwrap()
+}
+
+fn assert_equivalent(c: &Campaign) {
+    let fast = run_with(c, false);
+    let legacy = run_with(c, true);
+    assert_eq!(
+        fast.telemetry.as_ref().unwrap().counter_fingerprint(),
+        legacy.telemetry.as_ref().unwrap().counter_fingerprint(),
+        "fast and legacy paths must produce identical counter fingerprints"
+    );
+    assert_eq!(fast.trace, legacy.trace, "flight-recorder tapes must be bit-identical");
+    assert_eq!(fast.lifecycle, legacy.lifecycle, "lifecycle folds must agree");
+    assert_eq!(fast.report, legacy.report, "diagnostic reports must agree");
+    assert_eq!(fast.obd, legacy.obd, "OBD verdicts must agree");
+    assert_eq!(fast.episodes, legacy.episodes, "environment episode logs must agree");
+}
+
+#[test]
+fn clean_vehicle_paths_agree() {
+    // Every slot is quiescent: the fast path runs essentially everywhere.
+    assert_equivalent(&Campaign::reference(vec![], 1.0, 400, 7));
+}
+
+#[test]
+fn connector_campaign_paths_agree() {
+    let faults = campaign::connector_campaign(NodeId(2), 800.0);
+    assert_equivalent(&Campaign::reference(faults, 10.0, 400, 2026));
+}
+
+#[test]
+fn wearout_campaign_paths_agree() {
+    let faults = campaign::wearout_campaign(NodeId(1), 50.0, 2_000.0);
+    assert_equivalent(&Campaign::reference(faults, 10.0, 400, 11));
+}
+
+#[test]
+fn internal_degradation_paths_agree() {
+    // Includes a permanent death: the owner goes non-operational, which
+    // exercises the legacy body's offline branches on both runs.
+    let faults = campaign::internal_degradation_campaign(NodeId(1));
+    assert_equivalent(&Campaign::reference(faults, 10.0, 400, 13));
+}
+
+#[test]
+fn software_campaign_paths_agree() {
+    let faults = campaign::software_campaign(fig10::jobs::A1, true);
+    assert_equivalent(&Campaign::reference(faults, 5.0, 400, 17));
+}
+
+#[test]
+fn babbling_observer_paths_agree() {
+    let faults = campaign::babbling_observer_campaign(NodeId(0), 3);
+    assert_equivalent(&Campaign::reference(faults, 1.0, 300, 19));
+}
+
+#[test]
+fn diag_crash_paths_agree() {
+    // Diagnostic-host outages force cold-standby failovers mid-campaign.
+    let faults = campaign::diag_crash_campaign(NodeId(0), 40.0, 12.0);
+    assert_equivalent(&Campaign::reference(faults, 10.0, 400, 23));
+}
+
+#[test]
+fn diag_degradation_paths_agree() {
+    let faults = campaign::diag_degradation_campaign(0.3, 0.1, 2);
+    assert_equivalent(&Campaign::reference(faults, 1.0, 300, 29));
+}
+
+#[test]
+fn misconfigured_cluster_paths_agree() {
+    let (spec, faults) = campaign::misconfiguration_campaign(fig10::reference_spec(), 4);
+    assert_equivalent(&Campaign { spec, faults, accel: 1.0, rounds: 300, seed: 31 });
+}
+
+proptest! {
+    /// Randomized campaign shapes: fault family, target, episode rate,
+    /// acceleration, horizon and seed all vary, so the dispatcher's
+    /// fast/legacy mix is different in every case — and must never show.
+    #[test]
+    fn random_campaigns_paths_agree(
+        seed in 0u64..1_000_000,
+        family in 0usize..5,
+        node in 0u16..4,
+        rate in 50.0f64..4_000.0,
+        accel in 1.0f64..16.0,
+        rounds in 64u64..256,
+    ) {
+        let faults = match family {
+            0 => campaign::connector_campaign(NodeId(node), rate),
+            1 => campaign::wearout_campaign(NodeId(node), rate / 4.0, rate),
+            2 => campaign::software_campaign(fig10::jobs::A1, seed % 2 == 0),
+            3 => campaign::babbling_observer_campaign(NodeId(node), 1 + (seed % 4) as u32),
+            _ => campaign::diag_crash_campaign(NodeId(0), rate / 10.0, 8.0),
+        };
+        assert_equivalent(&Campaign::reference(faults, accel, rounds, seed));
+    }
+}

@@ -13,7 +13,7 @@ fn connector(seed: u64, rounds: u64) -> Campaign {
 }
 
 fn run_flightrec(c: &Campaign) -> decos::runner::CampaignOutcome {
-    let opts = RunOptions { telemetry: true, flightrec: true };
+    let opts = RunOptions { telemetry: true, flightrec: true, ..Default::default() };
     run_campaign_opts(c, EngineParams::default(), opts, &mut [], |_, _, _| {}).unwrap()
 }
 

@@ -34,8 +34,126 @@ pub fn analyze(exp: &ExperimentSpec<'_>) -> AnalysisReport {
     check_campaign(exp, &mut r);
     check_diag_path(exp, &mut r);
     check_config_defects(exp, &mut r);
+    check_diagnosability(exp, &mut r);
     r.finish();
     r
+}
+
+/// DA080–DA082: bounded n-diagnosability over the campaign scope.
+///
+/// Runs only for bounded campaign experiments (`rounds > 0`, at least one
+/// fault): derives each distinct `(kind, FRU)` hypothesis' n-round symptom
+/// signature and lints pairs the maintenance advisor could confuse into a
+/// *wrong* action (observation-equivalent pairs differing in FRU or
+/// class), hypotheses that are invisible to the ONA bank, and hypotheses
+/// whose earliest possible conviction lies beyond the horizon. All
+/// warn-level: such campaigns measure something (often deliberately — an
+/// ambiguity experiment is still an experiment), they just cannot support
+/// the paper's pinned-FRU maintenance claim.
+fn check_diagnosability(exp: &ExperimentSpec<'_>, r: &mut AnalysisReport) {
+    if exp.rounds == 0 || exp.faults.is_empty() {
+        return;
+    }
+    let hypotheses = crate::diagnosability::campaign_hypotheses(exp);
+    let report = crate::diagnosability::analyze_diagnosability(exp, hypotheses, exp.rounds);
+    let subject = |h: &crate::diagnosability::Hypothesis| match h.fru {
+        FruRef::Component(n) => Subject::Component(n),
+        FruRef::Job(j) => Subject::Job(j),
+    };
+    for i in report.invisible() {
+        let h = &report.hypotheses[i];
+        // A diagnostic-path fault is *supposed* to be invisible to the
+        // application-level observers; DA070-DA073 own its lints.
+        let severity = if h.kind.is_diag_path() { Severity::Info } else { Severity::Warning };
+        let mut d = Diagnostic::new(
+            DiagCode::FaultClassInvisibleToOna,
+            severity,
+            format!(
+                "{} reaches no ONA pattern within {} rounds: invisible to the diagnostic \
+                 architecture",
+                h.label(),
+                exp.rounds
+            ),
+        )
+        .with(subject(h))
+        .with(Subject::Class(h.class()))
+        .suggest(if h.kind.is_diag_path() {
+            "expected for diagnostic-path faults; the DA07x lints cover the observer itself"
+        } else {
+            "give the target a TDMA slot and check the ONA parameters/horizon cover the \
+             kind's patterns"
+        });
+        if let Some(id) = h.fault_id {
+            d = d.with(Subject::Fault(id));
+        }
+        r.push(d);
+    }
+    for p in report.ambiguous() {
+        let (a, b) = (&report.hypotheses[p.a], &report.hypotheses[p.b]);
+        // Same FRU + same class ⇒ same prescribed action: the ambiguity
+        // cannot misdirect maintenance, so it is not worth a warning.
+        if crate::diagnosability::maintenance_equivalent(a, b) {
+            continue;
+        }
+        let witness = match &p.verdict {
+            crate::diagnosability::Verdict::Ambiguous { witness } => {
+                witness.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            }
+            _ => unreachable!("ambiguous() yields only ambiguous verdicts"),
+        };
+        let mut d = Diagnostic::new(
+            DiagCode::FaultPairIndistinguishable,
+            Severity::Warning,
+            format!(
+                "{} and {} are observation-equivalent within {} rounds; witness: [{}]",
+                a.label(),
+                b.label(),
+                exp.rounds,
+                witness
+            ),
+        )
+        .with(subject(a))
+        .with(subject(b))
+        .suggest(
+            "the advisor cannot pin the FRU/action for this pair; separate the targets \
+             spatially, enable a discriminating ONA, or accept the ambiguity as ground truth",
+        );
+        for h in [a, b] {
+            if let Some(id) = h.fault_id {
+                d = d.with(Subject::Fault(id));
+            }
+        }
+        r.push(d);
+    }
+    for (i, sig) in report.signatures.iter().enumerate() {
+        if sig.is_empty() {
+            continue;
+        }
+        let h = &report.hypotheses[i];
+        if let Some(conviction) = sig.conviction_round(exp.advisor.min_evidence) {
+            if conviction > exp.rounds {
+                let mut d = Diagnostic::new(
+                    DiagCode::HorizonTooShortForConviction,
+                    Severity::Warning,
+                    format!(
+                        "{} is observable but cannot accumulate conviction evidence before \
+                         round {conviction}; the horizon is {} rounds",
+                        h.label(),
+                        exp.rounds
+                    ),
+                )
+                .with(subject(h))
+                .suggest(
+                    "extend the horizon past the earliest conviction round (cf. the \
+                     DA071/DA072 horizon lints for the diagnostic path)",
+                );
+                if let Some(id) = h.fault_id {
+                    d = d.with(Subject::Fault(id));
+                }
+                r.push(d);
+            }
+        }
+    }
 }
 
 /// Maps the collected structural spec errors onto DA06x diagnostics.

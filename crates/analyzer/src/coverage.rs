@@ -201,4 +201,93 @@ mod tests {
             assert!(!p.dims.is_empty(), "{} has no dimension", p.name);
         }
     }
+
+    fn named(name: &str) -> &'static PatternInfo {
+        PATTERN_CATALOG.iter().find(|p| p.name == name).unwrap_or_else(|| panic!("{name}"))
+    }
+
+    fn with_alpha(decay: f64, threshold: f64) -> OnaParams {
+        let mut o = OnaParams::default();
+        o.alpha.decay = decay;
+        o.alpha.threshold = threshold;
+        o
+    }
+
+    #[test]
+    fn unavailability_boundaries_table() {
+        // Table-driven boundary cases: (pattern, ona, rounds, expect
+        // unavailable). Defaults: judgement_rounds 50, wearout windows 4,
+        // overflow windows 5, job events 3.
+        let dflt = OnaParams::default;
+        let cases: Vec<(&str, OnaParams, u64, bool)> = vec![
+            // rounds = 0 means "unbounded": horizon starvation never fires.
+            ("recurring-internal", dflt(), 0, false),
+            ("wearout", dflt(), 0, false),
+            ("configuration", dflt(), 0, false),
+            ("software-design", dflt(), 0, false),
+            // Off-by-one around each evidence floor.
+            ("recurring-internal", dflt(), 49, true),
+            ("recurring-internal", dflt(), 50, false),
+            ("wearout", dflt(), 199, true),
+            ("wearout", dflt(), 200, false),
+            ("configuration", dflt(), 4, true),
+            ("configuration", dflt(), 5, false),
+            ("software-design", dflt(), 2, true),
+            ("software-design", dflt(), 3, false),
+            ("transducer-stuck", dflt(), 2, true),
+            ("transducer-stuck", dflt(), 3, false),
+            ("transducer-drift", dflt(), 2, true),
+            ("transducer-dead", dflt(), 3, false),
+            // Instant patterns survive a one-round horizon.
+            ("isolated-transient", dflt(), 1, false),
+            ("connector", dflt(), 1, false),
+            ("oscillator", dflt(), 1, false),
+            ("massive-transient", dflt(), 1, false),
+            // Saturated / degenerate parameters kill the pattern outright,
+            // regardless of horizon.
+            ("recurring-internal", with_alpha(0.9, f64::INFINITY), 0, true),
+            ("recurring-internal", with_alpha(0.0, 3.0), 0, true),
+            ("wearout", OnaParams { wearout_slope_min: f64::NAN, ..dflt() }, 0, true),
+            ("massive-transient", OnaParams { zone_radius_m: 0.0, ..dflt() }, 0, true),
+            ("massive-transient", OnaParams { zone_radius_m: f64::INFINITY, ..dflt() }, 0, true),
+            ("massive-transient", OnaParams { enable_spatial: false, ..dflt() }, 0, true),
+            ("cohost-correlation", OnaParams { enable_cohost: false, ..dflt() }, 0, true),
+            ("cohost-correlation", dflt(), 1, false),
+            ("transducer-stuck", OnaParams { stuck_duty: 0.0, ..dflt() }, 0, true),
+            ("transducer-stuck", OnaParams { stuck_duty: 1.5, ..dflt() }, 0, true),
+            ("transducer-stuck", OnaParams { stuck_duty: 1.0, ..dflt() }, 0, false),
+        ];
+        for (i, (name, ona, rounds, expect_unavailable)) in cases.iter().enumerate() {
+            let got = unavailability(named(name), ona, *rounds);
+            assert_eq!(
+                got.is_some(),
+                *expect_unavailable,
+                "case {i}: {name} at {rounds} rounds -> {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_judgement_interval_moves_the_horizon() {
+        // The floors scale with the parameters, not with constants.
+        let ona =
+            OnaParams { judgement_rounds: 10, wearout_min_windows: 7, ..OnaParams::default() };
+        assert!(unavailability(named("recurring-internal"), &ona, 9).is_some());
+        assert!(unavailability(named("recurring-internal"), &ona, 10).is_none());
+        assert!(unavailability(named("wearout"), &ona, 69).is_some());
+        assert!(unavailability(named("wearout"), &ona, 70).is_none());
+        let ona = OnaParams { overflow_min_windows: 1, job_min_events: 1, ..OnaParams::default() };
+        assert!(unavailability(named("configuration"), &ona, 1).is_none());
+        assert!(unavailability(named("software-design"), &ona, 1).is_none());
+    }
+
+    #[test]
+    fn unknown_pattern_is_always_unavailable() {
+        let p = PatternInfo {
+            name: "no-such-pattern",
+            class: FaultClass::ComponentExternal,
+            dims: &[Time],
+        };
+        assert!(unavailability(&p, &OnaParams::default(), 0).is_some());
+    }
 }

@@ -5,7 +5,7 @@
 //! from a `Campaign`; the lint CLI builds one with defaults; tests mutate
 //! individual fields to provoke specific diagnostics.
 
-use decos_diagnosis::{OnaParams, TrustParams};
+use decos_diagnosis::{AdvisorParams, OnaParams, TrustParams};
 use decos_faults::FaultSpec;
 use decos_platform::{ClusterSpec, NodeId};
 use serde::{Deserialize, Serialize};
@@ -61,6 +61,9 @@ pub struct ExperimentSpec<'a> {
     pub ona: OnaParams,
     /// Trust dynamics parameters.
     pub trust: TrustParams,
+    /// Maintenance-advisor conviction thresholds (the diagnosability
+    /// check's notion of "enough evidence").
+    pub advisor: AdvisorParams,
     /// The fault campaign (empty for a fault-free run).
     pub faults: &'a [FaultSpec],
     /// Rate acceleration factor for episodic faults.
@@ -79,6 +82,7 @@ impl<'a> ExperimentSpec<'a> {
             schedule: ScheduleSpec::derived(cluster),
             ona: OnaParams::default(),
             trust: TrustParams::default(),
+            advisor: AdvisorParams::default(),
             faults: &[],
             accel: 1.0,
             rounds: 0,

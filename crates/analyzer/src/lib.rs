@@ -28,10 +28,16 @@
 
 pub mod checks;
 pub mod coverage;
+pub mod diagnosability;
 pub mod experiment;
 pub mod report;
 
 pub use checks::analyze;
 pub use coverage::{unavailability, Dimension, PatternInfo, PATTERN_CATALOG};
+pub use diagnosability::{
+    analyze_diagnosability, campaign_hypotheses, full_hypotheses, maintenance_equivalent,
+    pair_verdict, signature_of, DiagnosabilityReport, Hypothesis, Observation, PairVerdict,
+    SymptomSignature, Verdict, WitnessStep,
+};
 pub use experiment::{ExperimentSpec, ScheduleSpec};
 pub use report::{AnalysisReport, DiagCode, Diagnostic, Severity, Subject};

@@ -70,7 +70,8 @@ impl core::fmt::Display for Subject {
 /// Stable diagnostic codes. The `DAxxx` numbering groups by concern:
 /// 00x schedule/bandwidth, 01x TMR, 02x ONA coverage, 03x trust dynamics,
 /// 04x campaign, 05x configuration defects, 06x structural (the former
-/// `SpecError` variants), 07x the diagnostic path itself.
+/// `SpecError` variants), 07x the diagnostic path itself, 08x static
+/// n-diagnosability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DiagCode {
     /// Two claims on the same TDMA slot.
@@ -150,6 +151,16 @@ pub enum DiagCode {
     DiagDelayExceedsHorizon,
     /// A babbling observer too quiet for the rate screen to ever flag.
     DiagBabbleUndetectable,
+    /// Two campaign fault hypotheses whose n-round symptom signatures are
+    /// identical — the maintenance advisor cannot tell them apart.
+    FaultPairIndistinguishable,
+    /// A fault hypothesis that reaches no ONA pattern at all: invisible
+    /// to the diagnostic architecture's application-level observers.
+    FaultClassInvisibleToOna,
+    /// A fault hypothesis whose earliest possible conviction lies beyond
+    /// the simulated horizon (the diagnosability analogue of the
+    /// DA071/DA072 horizon lints).
+    HorizonTooShortForConviction,
 }
 
 impl DiagCode {
@@ -195,6 +206,9 @@ impl DiagCode {
             DiagCode::DiagCrashDominatesHorizon => "DA071",
             DiagCode::DiagDelayExceedsHorizon => "DA072",
             DiagCode::DiagBabbleUndetectable => "DA073",
+            DiagCode::FaultPairIndistinguishable => "DA080",
+            DiagCode::FaultClassInvisibleToOna => "DA081",
+            DiagCode::HorizonTooShortForConviction => "DA082",
         }
     }
 
@@ -240,8 +254,71 @@ impl DiagCode {
             DiagCode::DiagCrashDominatesHorizon => "DiagCrashDominatesHorizon",
             DiagCode::DiagDelayExceedsHorizon => "DiagDelayExceedsHorizon",
             DiagCode::DiagBabbleUndetectable => "DiagBabbleUndetectable",
+            DiagCode::FaultPairIndistinguishable => "FaultPairIndistinguishable",
+            DiagCode::FaultClassInvisibleToOna => "FaultClassInvisibleToOna",
+            DiagCode::HorizonTooShortForConviction => "HorizonTooShortForConviction",
         }
     }
+
+    /// Whether this code belongs to the DA080 diagnosability block (the
+    /// verdicts a `RunOptions::deny_diagnosability` gate rejects on).
+    #[must_use]
+    pub fn is_diagnosability(self) -> bool {
+        matches!(
+            self,
+            DiagCode::FaultPairIndistinguishable
+                | DiagCode::FaultClassInvisibleToOna
+                | DiagCode::HorizonTooShortForConviction
+        )
+    }
+
+    /// Every variant, in `DAxxx` order. The `code()`/`name()` matches are
+    /// exhaustive, so a new variant fails compilation until it is wired
+    /// there; the uniqueness test walks this list to catch numbering
+    /// collisions when it is.
+    pub const ALL: &'static [DiagCode] = &[
+        DiagCode::SlotCollision,
+        DiagCode::UnscheduledComponent,
+        DiagCode::MalformedSlotTable,
+        DiagCode::VnetBandwidthInfeasible,
+        DiagCode::DeployedBandwidthDegraded,
+        DiagCode::ConsumerUnderProvisioned,
+        DiagCode::DanglingInputPort,
+        DiagCode::TmrTriadSharedFru,
+        DiagCode::TmrTriadIncomplete,
+        DiagCode::TmrTriadSpatiallyClose,
+        DiagCode::TmrVoterCohosted,
+        DiagCode::UncoveredFaultClass,
+        DiagCode::OnaPatternUnavailable,
+        DiagCode::TrustTransitionPartial,
+        DiagCode::TrustRecoveryOutpacesDecay,
+        DiagCode::UnknownFaultTarget,
+        DiagCode::OnsetBeyondHorizon,
+        DiagCode::InvalidFaultParameter,
+        DiagCode::OutsidePaperRange,
+        DiagCode::SoftwareFaultOnSafetyCritical,
+        DiagCode::MisconfigTruthWithoutDefect,
+        DiagCode::TargetKindMismatch,
+        DiagCode::DuplicateFaultId,
+        DiagCode::DefectUnknownVnet,
+        DiagCode::InertConfigDefect,
+        DiagCode::DeployedVnetUnusable,
+        DiagCode::NonContiguousNodeIds,
+        DiagCode::TooManyComponents,
+        DiagCode::UnknownHost,
+        DiagCode::UnknownDas,
+        DiagCode::UnknownVnet,
+        DiagCode::DuplicatePort,
+        DiagCode::CriticalityMismatch,
+        DiagCode::DuplicateJob,
+        DiagCode::InvalidDiagNetConfig,
+        DiagCode::DiagCrashDominatesHorizon,
+        DiagCode::DiagDelayExceedsHorizon,
+        DiagCode::DiagBabbleUndetectable,
+        DiagCode::FaultPairIndistinguishable,
+        DiagCode::FaultClassInvisibleToOna,
+        DiagCode::HorizonTooShortForConviction,
+    ];
 }
 
 impl core::fmt::Display for DiagCode {
@@ -396,51 +473,48 @@ mod tests {
 
     #[test]
     fn codes_are_unique_and_stable() {
-        let all = [
-            DiagCode::SlotCollision,
-            DiagCode::UnscheduledComponent,
-            DiagCode::MalformedSlotTable,
-            DiagCode::VnetBandwidthInfeasible,
-            DiagCode::DeployedBandwidthDegraded,
-            DiagCode::ConsumerUnderProvisioned,
-            DiagCode::DanglingInputPort,
-            DiagCode::TmrTriadSharedFru,
-            DiagCode::TmrTriadIncomplete,
-            DiagCode::TmrTriadSpatiallyClose,
-            DiagCode::TmrVoterCohosted,
-            DiagCode::UncoveredFaultClass,
-            DiagCode::OnaPatternUnavailable,
-            DiagCode::TrustTransitionPartial,
-            DiagCode::TrustRecoveryOutpacesDecay,
-            DiagCode::UnknownFaultTarget,
-            DiagCode::OnsetBeyondHorizon,
-            DiagCode::InvalidFaultParameter,
-            DiagCode::OutsidePaperRange,
-            DiagCode::SoftwareFaultOnSafetyCritical,
-            DiagCode::MisconfigTruthWithoutDefect,
-            DiagCode::TargetKindMismatch,
-            DiagCode::DuplicateFaultId,
-            DiagCode::DefectUnknownVnet,
-            DiagCode::InertConfigDefect,
-            DiagCode::DeployedVnetUnusable,
-            DiagCode::NonContiguousNodeIds,
-            DiagCode::TooManyComponents,
-            DiagCode::UnknownHost,
-            DiagCode::UnknownDas,
-            DiagCode::UnknownVnet,
-            DiagCode::DuplicatePort,
-            DiagCode::CriticalityMismatch,
-            DiagCode::DuplicateJob,
-            DiagCode::InvalidDiagNetConfig,
-            DiagCode::DiagCrashDominatesHorizon,
-            DiagCode::DiagDelayExceedsHorizon,
-            DiagCode::DiagBabbleUndetectable,
-        ];
-        let codes: std::collections::BTreeSet<&str> = all.iter().map(|c| c.code()).collect();
-        assert_eq!(codes.len(), all.len(), "every DiagCode must have a unique DAxxx");
+        // Walk every variant via DiagCode::ALL: no duplicate DAxxx code
+        // strings, no duplicate names, every code well-formed.
+        let codes: std::collections::BTreeSet<&str> =
+            DiagCode::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), DiagCode::ALL.len(), "every DiagCode must have a unique DAxxx");
+        let names: std::collections::BTreeSet<&str> =
+            DiagCode::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), DiagCode::ALL.len(), "every DiagCode must have a unique name");
+        let variants: std::collections::BTreeSet<DiagCode> =
+            DiagCode::ALL.iter().copied().collect();
+        assert_eq!(variants.len(), DiagCode::ALL.len(), "ALL must not repeat a variant");
+        for c in DiagCode::ALL {
+            let s = c.code();
+            assert!(
+                s.len() == 5 && s.starts_with("DA") && s[2..].chars().all(|d| d.is_ascii_digit()),
+                "{s}: codes are DA followed by three digits"
+            );
+        }
+        // Stable anchors: one per numbering block.
         assert_eq!(DiagCode::SlotCollision.code(), "DA001");
         assert_eq!(DiagCode::TmrTriadSharedFru.code(), "DA010");
         assert_eq!(DiagCode::UncoveredFaultClass.code(), "DA020");
+        assert_eq!(DiagCode::TrustTransitionPartial.code(), "DA030");
+        assert_eq!(DiagCode::UnknownFaultTarget.code(), "DA040");
+        assert_eq!(DiagCode::DefectUnknownVnet.code(), "DA050");
+        assert_eq!(DiagCode::NonContiguousNodeIds.code(), "DA060");
+        assert_eq!(DiagCode::InvalidDiagNetConfig.code(), "DA070");
+        assert_eq!(DiagCode::FaultPairIndistinguishable.code(), "DA080");
+        assert_eq!(DiagCode::FaultClassInvisibleToOna.code(), "DA081");
+        assert_eq!(DiagCode::HorizonTooShortForConviction.code(), "DA082");
+    }
+
+    #[test]
+    fn diagnosability_block_is_exactly_da08x() {
+        for c in DiagCode::ALL {
+            assert_eq!(
+                c.is_diagnosability(),
+                c.code().starts_with("DA08"),
+                "{}: is_diagnosability must mirror the DA08x numbering",
+                c.code()
+            );
+        }
     }
 
     #[test]

@@ -103,7 +103,7 @@ pub fn bench_fleet(effort: Effort) -> BenchReport {
         accel: 10.0,
         seed: 2026,
     };
-    let opts = FleetOptions { telemetry: true, base_faults: Vec::new() };
+    let opts = FleetOptions { telemetry: true, ..FleetOptions::default() };
     let spec = fig10::reference_spec();
     let params = EngineParams::default();
     let first = run_fleet_configured(&spec, cfg, params, &opts).expect("fleet run");

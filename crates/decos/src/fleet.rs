@@ -52,6 +52,12 @@ pub struct FleetOptions {
     /// Ids are remapped to avoid colliding with sampled fault ids; these
     /// faults are not scored as ground truth.
     pub base_faults: Vec<FaultSpec>,
+    /// Reject the fleet at pre-flight when the *base* experiment (spec +
+    /// base faults) carries DA080-series diagnosability verdicts. Applies
+    /// to the pre-flight only: per-vehicle sampled faults are single-
+    /// hypothesis ground truth by the primary-fault convention, and a
+    /// per-vehicle denial would abort the whole fleet mid-run.
+    pub deny_diagnosability: bool,
 }
 
 /// One vehicle's scored outcome.
@@ -132,8 +138,12 @@ pub fn run_fleet_configured(
     let mut base = ExperimentSpec::with_campaign(spec, &opts.base_faults, cfg.accel, cfg.rounds);
     base.ona = params.ona;
     base.trust = params.trust;
+    base.advisor = params.advisor;
     let report = analyze(&base);
-    if report.has_errors() {
+    if report.has_errors()
+        || (opts.deny_diagnosability
+            && report.diagnostics.iter().any(|d| d.code.is_diagnosability()))
+    {
         return Err(CampaignError::Rejected(report));
     }
     let seeds = SeedSource::new(cfg.seed);

@@ -19,6 +19,7 @@ fn crashy_fleet() -> FleetOutcome {
     let opts = FleetOptions {
         telemetry: false,
         base_faults: decos::faults::campaign::diag_crash_campaign(NodeId(0), 40.0, 12.0),
+        ..FleetOptions::default()
     };
     run_fleet_configured(&fig10::reference_spec(), cfg, EngineParams::default(), &opts).unwrap()
 }
@@ -72,6 +73,7 @@ fn base_faults_do_not_perturb_sampled_ground_truth() {
     let opts = FleetOptions {
         telemetry: false,
         base_faults: decos::faults::campaign::diag_crash_campaign(NodeId(0), 40.0, 12.0),
+        ..FleetOptions::default()
     };
     let crashy =
         run_fleet_configured(&fig10::reference_spec(), cfg, EngineParams::default(), &opts)

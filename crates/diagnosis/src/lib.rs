@@ -25,6 +25,7 @@ pub mod detectors;
 pub mod dissemination;
 pub mod engine;
 pub mod metrics;
+pub mod model;
 pub mod patterns;
 pub mod state;
 pub mod symptom;
@@ -36,6 +37,10 @@ pub use detectors::{DetectorParams, SymptomDetectors};
 pub use dissemination::{DiagnosticNetwork, DisseminationStats, PlausibilityScreen};
 pub use engine::{DiagnosticEngine, EngineParams, DEGRADED_QUALITY_THRESHOLD};
 pub use metrics::{score_case, ActionScore, ConfusionMatrix, REMOVAL_COST_USD};
+pub use model::{
+    alpha_windows_to_declare, earliest_fire_round, pattern_model, patterns_for_kind, PatternModel,
+    SymptomDomain, PATTERN_MODELS,
+};
 pub use patterns::{OnaBank, OnaParams, PatternMatch};
 pub use state::{DistributedState, PairMatrix};
 pub use symptom::{QueueSide, Subject, Symptom, SymptomKind};

@@ -71,7 +71,7 @@ impl core::fmt::Display for Subject {
 /// 00x schedule/bandwidth, 01x TMR, 02x ONA coverage, 03x trust dynamics,
 /// 04x campaign, 05x configuration defects, 06x structural (the former
 /// `SpecError` variants), 07x the diagnostic path itself, 08x static
-/// n-diagnosability.
+/// n-diagnosability, 09x persistence/resume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DiagCode {
     /// Two claims on the same TDMA slot.
@@ -161,6 +161,11 @@ pub enum DiagCode {
     /// the simulated horizon (the diagnosability analogue of the
     /// DA071/DA072 horizon lints).
     HorizonTooShortForConviction,
+    /// A resume was requested against a store whose recorded experiment
+    /// hash disagrees with the campaign being run — replaying a journal
+    /// under a different cluster, fault set, seed or engine parameters
+    /// would silently corrupt the accumulated history.
+    StoreSpecMismatch,
 }
 
 impl DiagCode {
@@ -209,6 +214,7 @@ impl DiagCode {
             DiagCode::FaultPairIndistinguishable => "DA080",
             DiagCode::FaultClassInvisibleToOna => "DA081",
             DiagCode::HorizonTooShortForConviction => "DA082",
+            DiagCode::StoreSpecMismatch => "DA090",
         }
     }
 
@@ -257,6 +263,7 @@ impl DiagCode {
             DiagCode::FaultPairIndistinguishable => "FaultPairIndistinguishable",
             DiagCode::FaultClassInvisibleToOna => "FaultClassInvisibleToOna",
             DiagCode::HorizonTooShortForConviction => "HorizonTooShortForConviction",
+            DiagCode::StoreSpecMismatch => "StoreSpecMismatch",
         }
     }
 
@@ -318,6 +325,7 @@ impl DiagCode {
         DiagCode::FaultPairIndistinguishable,
         DiagCode::FaultClassInvisibleToOna,
         DiagCode::HorizonTooShortForConviction,
+        DiagCode::StoreSpecMismatch,
     ];
 }
 
@@ -503,6 +511,7 @@ mod tests {
         assert_eq!(DiagCode::FaultPairIndistinguishable.code(), "DA080");
         assert_eq!(DiagCode::FaultClassInvisibleToOna.code(), "DA081");
         assert_eq!(DiagCode::HorizonTooShortForConviction.code(), "DA082");
+        assert_eq!(DiagCode::StoreSpecMismatch.code(), "DA090");
     }
 
     #[test]

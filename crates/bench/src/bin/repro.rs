@@ -9,7 +9,7 @@
 //! Telemetry sinks (DESIGN.md §11):
 //!
 //! ```sh
-//! # Emit BENCH_fleet.json + BENCH_slot.json (exits 1 if same-seed
+//! # Emit BENCH_fleet.json + BENCH_slot.json (exits 5 if same-seed
 //! # counter snapshots disagree — the CI determinism gate).
 //! cargo run --release -p decos-bench --bin repro -- --telemetry
 //! # Stream a per-round JSONL trace of a reference campaign.
@@ -19,12 +19,28 @@
 //! # Render a dump as a fault timeline + latency table.
 //! cargo run --release -p decos-bench --bin repro -- trace-report flightrec.jsonl
 //! # Enforce the perf trajectory against the committed BENCH files
-//! # (exit 1 on a >10% slots/sec regression or a determinism mismatch).
+//! # (exit 6 on a >10% slots/sec regression, 5 on a determinism mismatch).
 //! cargo run --release -p decos-bench --bin repro -- bench-compare --tolerance 0.10
 //! ```
+//!
+//! Crash-safe persistence (DESIGN.md §15):
+//!
+//! ```sh
+//! # Journal the reference campaign / the fig10 fleet as it runs.
+//! cargo run --release -p decos-bench --bin repro -- campaign --store /tmp/c1
+//! cargo run --release -p decos-bench --bin repro -- fleet --store /tmp/f1 --vehicles 24
+//! # Continue after a crash (or extend the horizon) — bit-identical resume.
+//! cargo run --release -p decos-bench --bin repro -- resume /tmp/c1 --rounds 4000
+//! # Inspect a store without mutating it.
+//! cargo run --release -p decos-bench --bin repro -- store-stat /tmp/c1
+//! ```
+//!
+//! Exit codes are one-per-failure-class (`decos_bench::exitcode`,
+//! README §"Exit codes"): 0 ok, 1 failure, 2 usage, 3 spec rejected,
+//! 4 store corrupt, 5 determinism mismatch, 6 perf-gate regression.
 
 use decos_bench::experiments as exp;
-use decos_bench::{compare, flightdump, perf, Effort};
+use decos_bench::{compare, exitcode, flightdump, perf, storecli, Effort};
 
 const IDS: &[&str] = &[
     "e1-architecture",
@@ -73,7 +89,7 @@ fn run_one(id: &str, effort: Effort, json: bool) {
         "e14-diag-degradation" => emit!(exp::e14_diag_degradation(effort)),
         other => {
             eprintln!("unknown experiment '{other}'; available: {IDS:?} or 'all'");
-            std::process::exit(2);
+            std::process::exit(exitcode::USAGE);
         }
     }
 }
@@ -83,7 +99,7 @@ fn run_one(id: &str, effort: Effort, json: bool) {
 fn run_bench(report: perf::BenchReport, path: &str) {
     perf::write_report(&report, path).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     });
     println!(
         "{path}: {:.0} slots/sec{} deterministic={}",
@@ -93,7 +109,7 @@ fn run_bench(report: perf::BenchReport, path: &str) {
     );
     if !report.deterministic {
         eprintln!("FAIL: same-seed runs produced different counter snapshots");
-        std::process::exit(1);
+        std::process::exit(exitcode::DETERMINISM);
     }
 }
 
@@ -117,7 +133,7 @@ fn run_trace(path: &str, effort: Effort) {
         }
         Err(e) => {
             eprintln!("trace failed: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         }
     }
 }
@@ -140,12 +156,12 @@ fn run_flightrec(path: &str, effort: Effort) {
         decos::runner::run_campaign_opts(&c, EngineParams::default(), opts, &mut [], |_, _, _| {})
             .unwrap_or_else(|e| {
                 eprintln!("flightrec campaign failed: {e}");
-                std::process::exit(1);
+                std::process::exit(exitcode::FAILURE);
             });
     let trace = out.trace.as_ref().expect("flightrec on");
     flightdump::write_flightrec(trace, path).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     });
     println!(
         "{path}: {} events ({} overwritten), anomalous={}",
@@ -159,11 +175,11 @@ fn run_flightrec(path: &str, effort: Effort) {
 fn run_trace_report(path: &str) {
     let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     });
     let events = flightdump::read_flightrec(&body).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     });
     print!("{}", flightdump::render_trace_report(&events));
 }
@@ -173,7 +189,7 @@ fn run_trace_report(path: &str) {
 fn run_phase_shares(path: &str) {
     let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     });
     let phases = (|| -> Result<Vec<(String, u64, f64)>, serde::value::DeError> {
         let v = serde::value::parse_embedded(&body)?;
@@ -191,21 +207,22 @@ fn run_phase_shares(path: &str) {
     })()
     .unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::FAILURE);
     });
     println!();
     print!("{}", flightdump::render_phase_shares(&flightdump::phase_shares(&phases)));
 }
 
-/// The perf-trajectory gate: exits 1 on a regression beyond tolerance or
-/// a determinism mismatch.
+/// The perf-trajectory gate: exits 6 on a regression beyond tolerance,
+/// 5 on a determinism mismatch.
 fn run_bench_compare(effort: Effort, tolerance: f64) {
     let results = compare::bench_compare(effort, tolerance, "BENCH_fleet.json", "BENCH_slot.json")
         .unwrap_or_else(|e| {
             eprintln!("bench-compare: {e}");
-            std::process::exit(1);
+            std::process::exit(exitcode::FAILURE);
         });
     let mut failed = false;
+    let mut nondeterministic = false;
     for r in &results {
         println!(
             "{}: baseline {:.0} slots/sec, current {:.0} slots/sec ({:+.1}%) — {}",
@@ -233,10 +250,17 @@ fn run_bench_compare(effort: Effort, tolerance: f64) {
             );
         }
         failed |= !r.passed();
+        nondeterministic |= !r.deterministic;
     }
     if failed {
         eprintln!("FAIL: perf trajectory gate (tolerance {:.0}%)", tolerance * 100.0);
-        std::process::exit(1);
+        // Determinism breakage outranks a perf regression as a verdict:
+        // a nondeterministic run's timing numbers aren't trustworthy.
+        std::process::exit(if nondeterministic {
+            exitcode::DETERMINISM
+        } else {
+            exitcode::PERF_GATE
+        });
     }
 }
 
@@ -254,7 +278,32 @@ fn main() {
     let tolerance = flag_value("--tolerance")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(compare::DEFAULT_TOLERANCE);
-    const VALUE_FLAGS: &[&str] = &["--effort", "--trace", "--flightrec", "--tolerance"];
+    let store_dir = flag_value("--store").cloned();
+    let resume_dir = flag_value("--resume").cloned();
+    let store_opts = storecli::StoreCliOpts {
+        rounds: flag_value("--rounds").and_then(|v| v.parse().ok()),
+        vehicles: flag_value("--vehicles").and_then(|v| v.parse().ok()),
+        seed: flag_value("--seed").and_then(|v| v.parse().ok()),
+        accel: flag_value("--accel").and_then(|v| v.parse().ok()),
+        snapshot_every: flag_value("--snapshot-every").and_then(|v| v.parse().ok()),
+        sync_every: flag_value("--sync-every").and_then(|v| v.parse().ok()),
+        chunk: flag_value("--chunk").and_then(|v| v.parse().ok()),
+    };
+    const VALUE_FLAGS: &[&str] = &[
+        "--effort",
+        "--trace",
+        "--flightrec",
+        "--tolerance",
+        "--store",
+        "--resume",
+        "--rounds",
+        "--vehicles",
+        "--seed",
+        "--accel",
+        "--snapshot-every",
+        "--sync-every",
+        "--chunk",
+    ];
     let ids: Vec<&str> = args
         .iter()
         .enumerate()
@@ -266,10 +315,44 @@ fn main() {
         .map(|(_, s)| s.as_str())
         .collect();
     // Subcommands with their own argument shapes come first.
+    match ids.first() {
+        Some(&"campaign") | Some(&"fleet") if store_dir.is_some() => {
+            let dir = store_dir.as_deref().expect("guarded above");
+            let code = if ids[0] == "campaign" {
+                storecli::cmd_campaign(dir, &store_opts)
+            } else {
+                storecli::cmd_fleet(dir, &store_opts)
+            };
+            std::process::exit(code);
+        }
+        Some(&"campaign") | Some(&"fleet") => {
+            eprintln!("usage: repro {} --store <dir> [--rounds N] [--vehicles N] ...", ids[0]);
+            std::process::exit(exitcode::USAGE);
+        }
+        Some(&"resume") => {
+            let Some(dir) = ids.get(1) else {
+                eprintln!("usage: repro resume <store-dir> [--rounds N] [--vehicles N]");
+                std::process::exit(exitcode::USAGE);
+            };
+            std::process::exit(storecli::cmd_resume(dir, &store_opts));
+        }
+        Some(&"store-stat") => {
+            let Some(dir) = ids.get(1) else {
+                eprintln!("usage: repro store-stat <store-dir>");
+                std::process::exit(exitcode::USAGE);
+            };
+            std::process::exit(storecli::cmd_store_stat(dir));
+        }
+        _ => {}
+    }
+    if let Some(dir) = &resume_dir {
+        // `--resume <dir>` is shorthand for the resume subcommand.
+        std::process::exit(storecli::cmd_resume(dir, &store_opts));
+    }
     if ids.first() == Some(&"trace-report") {
         let Some(path) = ids.get(1) else {
             eprintln!("usage: repro trace-report <flightrec.jsonl> [BENCH_*.json]");
-            std::process::exit(2);
+            std::process::exit(exitcode::USAGE);
         };
         run_trace_report(path);
         if let Some(bench) = ids.get(2) {
@@ -302,8 +385,10 @@ fn main() {
         );
         eprintln!("       repro trace-report <flightrec.jsonl> [BENCH_*.json]");
         eprintln!("       repro bench-compare [--effort <f>] [--tolerance <f>]");
+        eprintln!("       repro campaign|fleet --store <dir> [--rounds N] [--vehicles N] ...");
+        eprintln!("       repro resume <dir> | repro store-stat <dir>");
         eprintln!("experiments: {IDS:?} plus bench-fleet, bench-slot");
-        std::process::exit(2);
+        std::process::exit(exitcode::USAGE);
     }
     for id in ids {
         if id == "all" {

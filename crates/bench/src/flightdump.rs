@@ -11,7 +11,6 @@
 
 use decos::prelude::*;
 use decos::sim::flightrec::{NO_COMPONENT, NO_FAULT};
-use std::io::Write as _;
 
 /// Schema tag of every flight-recorder dump line.
 pub const FLIGHTREC_SCHEMA: &str = "decos-flightrec/1";
@@ -35,13 +34,17 @@ pub fn event_line(e: &TraceEvent) -> String {
     )
 }
 
-/// Writes a recording as JSONL, one event per line, oldest first.
+/// Writes a recording as JSONL, one event per line, oldest first —
+/// atomically (write-temp-then-rename), so a crash mid-dump never leaves
+/// a truncated recording where a complete one is expected. The ring
+/// buffer is bounded, so building the body in memory is fine.
 pub fn write_flightrec(rec: &FlightRecording, path: &str) -> std::io::Result<()> {
-    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut body = String::new();
     for e in &rec.events {
-        writeln!(out, "{}", event_line(e))?;
+        body.push_str(&event_line(e));
+        body.push('\n');
     }
-    out.flush()
+    decos::store::write_atomic(std::path::Path::new(path), body.as_bytes())
 }
 
 /// Parses a `decos-flightrec/1` JSONL body back into events.

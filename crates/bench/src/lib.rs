@@ -11,6 +11,29 @@ pub mod compare;
 pub mod experiments;
 pub mod flightdump;
 pub mod perf;
+pub mod storecli;
+
+/// Process exit codes of the `repro` binary, one per failure class, so CI
+/// and scripts can dispatch on *why* a run failed without parsing stderr.
+/// Documented in README.md §"Exit codes".
+pub mod exitcode {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// Unclassified failure (I/O, panic-adjacent).
+    pub const FAILURE: i32 = 1;
+    /// Bad command line.
+    pub const USAGE: i32 = 2;
+    /// The analyzer rejected the experiment spec (including the DA090
+    /// store/spec mismatch on resume).
+    pub const SPEC_REJECTED: i32 = 3;
+    /// The campaign store is structurally corrupt or its I/O failed.
+    pub const STORE_CORRUPT: i32 = 4;
+    /// A determinism contract was violated: same-seed counter snapshots
+    /// disagree, or a resume's replay diverged from the journal.
+    pub const DETERMINISM: i32 = 5;
+    /// The perf trajectory gate tripped (`bench-compare` regression).
+    pub const PERF_GATE: i32 = 6;
+}
 
 pub use compare::{
     bench_compare, phase_regressed, read_baseline, regressed, GateResult, PhaseGate,

@@ -168,10 +168,12 @@ pub fn bench_slot(effort: Effort) -> BenchReport {
     }
 }
 
-/// Writes a [`BenchReport`] as pretty-printed JSON.
+/// Writes a [`BenchReport`] as pretty-printed JSON, atomically: the
+/// committed `BENCH_*.json` baselines gate CI, so a crash mid-write must
+/// never leave a truncated document behind.
 pub fn write_report(report: &BenchReport, path: &str) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(report).expect("serializable");
-    std::fs::write(path, json + "\n")
+    decos::store::write_atomic(std::path::Path::new(path), (json + "\n").as_bytes())
 }
 
 /// One cumulative-counter row of the JSONL trace (one per TDMA round).
@@ -212,15 +214,26 @@ pub struct TraceRow {
 /// Drive it from the [`run_campaign_with`] observer; rows are written on
 /// the last slot of every round. Counters are cumulative — diffing
 /// consecutive rows recovers per-round rates.
+///
+/// Rows stream into a `.tmp` sibling; [`TraceWriter::finish`] syncs and
+/// renames it over the final path, so readers only ever see a complete
+/// trace — an aborted run leaves the previous trace (if any) untouched.
 pub struct TraceWriter {
     out: std::io::BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
+    tmp: std::path::PathBuf,
     rows: u64,
 }
 
 impl TraceWriter {
-    /// Creates (truncates) the trace file.
+    /// Creates (truncates) the trace's temp sibling; the final path is
+    /// untouched until [`TraceWriter::finish`].
     pub fn create(path: &str) -> std::io::Result<Self> {
-        Ok(Self { out: std::io::BufWriter::new(std::fs::File::create(path)?), rows: 0 })
+        let path = std::path::PathBuf::from(path);
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        let tmp = path.with_file_name(name);
+        Ok(Self { out: std::io::BufWriter::new(std::fs::File::create(&tmp)?), path, tmp, rows: 0 })
     }
 
     /// Rows written so far.
@@ -261,9 +274,13 @@ impl TraceWriter {
         self.rows += 1;
     }
 
-    /// Flushes the underlying file.
+    /// Flushes, syncs, and renames the temp file over the final path —
+    /// the trace's commit point.
     pub fn finish(mut self) -> std::io::Result<()> {
-        self.out.flush()
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        drop(self.out);
+        std::fs::rename(&self.tmp, &self.path)
     }
 }
 

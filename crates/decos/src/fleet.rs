@@ -151,7 +151,17 @@ pub fn run_fleet_configured(
         .into_par_iter()
         .map(|v| run_vehicle(spec, cfg, seeds, v, params, opts))
         .collect();
+    Ok(aggregate_fleet(cfg, results))
+}
 
+/// Folds per-vehicle results (index order) into the fleet aggregate.
+/// Shared by the in-memory and journal-backed fleet paths: index-ordered
+/// input makes the floating-point sums — and thus the aggregate — identical
+/// whether a vehicle was just simulated or read back from a store.
+pub(crate) fn aggregate_fleet(
+    cfg: FleetConfig,
+    results: Vec<(VehicleOutcome, Option<TelemetrySnapshot>)>,
+) -> FleetOutcome {
     let mut confusion = ConfusionMatrix::new();
     let mut decos = ActionScore::default();
     let mut obd = ActionScore::default();
@@ -209,7 +219,7 @@ pub fn run_fleet_configured(
             }
         }
     }
-    Ok(FleetOutcome {
+    FleetOutcome {
         vehicles,
         confusion,
         decos,
@@ -218,10 +228,10 @@ pub fn run_fleet_configured(
         mean_delivery_quality,
         degraded_vehicles,
         telemetry,
-    })
+    }
 }
 
-fn run_vehicle(
+pub(crate) fn run_vehicle(
     spec: &ClusterSpec,
     cfg: FleetConfig,
     seeds: SeedSource,

@@ -20,6 +20,9 @@
 //!   error-severity diagnostics; `decos-lint` exposes the same pass on the
 //!   command line);
 //! * [`runner`] / [`fleet`] — campaign and rayon-parallel fleet drivers;
+//! * [`store`] / [`store_run`] — crash-safe event-sourced persistence:
+//!   an append-only CRC-framed journal plus snapshots, with bit-identical
+//!   resume (`decos-store` + the runner glue);
 //! * [`workshop`] — the closed maintenance loop (§V): actions mutate the
 //!   fault set; repeat-visit and NFF economics fall out.
 //!
@@ -49,12 +52,14 @@ pub use decos_faults as faults;
 pub use decos_platform as platform;
 pub use decos_reliability as reliability;
 pub use decos_sim as sim;
+pub use decos_store as store;
 pub use decos_timebase as timebase;
 pub use decos_ttnet as ttnet;
 pub use decos_vnet as vnet;
 
 pub mod fleet;
 pub mod runner;
+pub mod store_run;
 pub mod workshop;
 
 /// The working set most users need.
@@ -67,6 +72,10 @@ pub mod prelude {
         run_campaign, run_campaign_observed, run_campaign_opts, run_campaign_with,
         run_campaign_with_params, trust_trajectories, Campaign, CampaignError, CampaignOutcome,
         RunOptions, TrustSeries,
+    };
+    pub use crate::store_run::{
+        run_campaign_stored, run_fleet_stored, CampaignStore, FleetStore, StorePolicy,
+        StoreRunError, StoreRunStats,
     };
     pub use crate::workshop::{service_loop, CostModel, ServiceHistory, ServiceVisit, Strategy};
     pub use decos_analyzer::{analyze, AnalysisReport, DiagCode, ExperimentSpec, Severity};

@@ -202,6 +202,15 @@ impl DiagnosticEngine {
         self.disturbance = d;
     }
 
+    /// The diagnostic-path disturbance currently in force (what the last
+    /// [`Self::inject_disturbance`] set). The campaign store journals this
+    /// per round so a resumed run can verify the replayed environment
+    /// against the recorded one.
+    #[must_use]
+    pub fn disturbance(&self) -> DiagDisturbance {
+        self.disturbance
+    }
+
     /// Reseeds the transit randomness of the diagnostic network (campaign
     /// runners decorrelate vehicles with this).
     pub fn reseed_diag(&mut self, seed: u64) {

@@ -124,11 +124,23 @@ pub enum Counter {
     DetectLatencyRounds,
     /// Summed onset→conviction latency over convicted faults, rounds.
     ConvictLatencyRounds,
+    /// Journal records written by the campaign store this process.
+    JournalRecords,
+    /// Journal bytes written by the campaign store this process.
+    JournalBytes,
+    /// Journal fsyncs issued by the campaign store this process.
+    JournalFsyncs,
+    /// Full snapshots written by the campaign store this process.
+    SnapshotsWritten,
+    /// Committed journal records recovered when the store opened.
+    StoreRecoveredRecords,
+    /// Torn-tail bytes the store's recovery quarantined at open.
+    StoreQuarantinedBytes,
 }
 
 impl Counter {
     /// All counters, registry order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 27] = [
         Counter::SlotsSimulated,
         Counter::RoundsSimulated,
         Counter::SymptomsOffered,
@@ -150,6 +162,12 @@ impl Counter {
         Counter::WrongFruConvictions,
         Counter::DetectLatencyRounds,
         Counter::ConvictLatencyRounds,
+        Counter::JournalRecords,
+        Counter::JournalBytes,
+        Counter::JournalFsyncs,
+        Counter::SnapshotsWritten,
+        Counter::StoreRecoveredRecords,
+        Counter::StoreQuarantinedBytes,
     ];
 
     /// Number of registered counters.
@@ -179,6 +197,12 @@ impl Counter {
             Counter::WrongFruConvictions => "wrong_fru_convictions",
             Counter::DetectLatencyRounds => "detect_latency_rounds",
             Counter::ConvictLatencyRounds => "convict_latency_rounds",
+            Counter::JournalRecords => "journal_records",
+            Counter::JournalBytes => "journal_bytes",
+            Counter::JournalFsyncs => "journal_fsyncs",
+            Counter::SnapshotsWritten => "snapshots_written",
+            Counter::StoreRecoveredRecords => "store_recovered_records",
+            Counter::StoreQuarantinedBytes => "store_quarantined_bytes",
         }
     }
 
@@ -577,6 +601,21 @@ impl TelemetrySnapshot {
     /// Value of one counter by registry name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Overwrites one counter by registry name, returning whether the
+    /// name was found. The campaign store patches its `journal_*` /
+    /// `store_*` counters into emitted snapshots with this — *after* the
+    /// determinism fingerprint is taken, since I/O counters legitimately
+    /// differ between a straight run and a resumed one.
+    pub fn set_counter(&mut self, name: &str, value: u64) -> bool {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => {
+                c.value = value;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Value of one gauge by registry name.

@@ -23,6 +23,21 @@
 //! cargo run --release -p decos-bench --bin repro -- bench-compare --tolerance 0.10
 //! ```
 //!
+//! Fleet scale (DESIGN.md §16):
+//!
+//! ```sh
+//! # Stream the million-vehicle fleet through the sharded executor.
+//! cargo run --release -p decos-bench --bin repro -- fleet --vehicles 1_000_000
+//! # Pin the shard count (default: available parallelism).
+//! cargo run --release -p decos-bench --bin repro -- fleet --vehicles 50_000 --shards 2
+//! # Regenerate BENCH_fleet.json from an explicit workload.
+//! cargo run --release -p decos-bench --bin repro -- fleet --vehicles 1_000_000 --telemetry
+//! ```
+//!
+//! Numeric flags parse strictly: `--vehicles 24x` is a usage error
+//! (exit 2), never a silent fallback to the default workload, and `_`
+//! digit separators are accepted (`1_000_000`).
+//!
 //! Crash-safe persistence (DESIGN.md §15):
 //!
 //! ```sh
@@ -40,7 +55,7 @@
 //! 4 store corrupt, 5 determinism mismatch, 6 perf-gate regression.
 
 use decos_bench::experiments as exp;
-use decos_bench::{compare, exitcode, flightdump, perf, storecli, Effort};
+use decos_bench::{cliflags, compare, exitcode, flightdump, perf, storecli, Effort};
 
 const IDS: &[&str] = &[
     "e1-architecture",
@@ -213,6 +228,70 @@ fn run_phase_shares(path: &str) {
     print!("{}", flightdump::render_phase_shares(&flightdump::phase_shares(&phases)));
 }
 
+/// Strict numeric flag lookup ([`cliflags::numeric_flag`]): a present
+/// flag with a missing or malformed value is a usage error (exit 2),
+/// never a silent fallback to the default workload.
+fn numeric_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    cliflags::numeric_flag(args, name).unwrap_or_else(|msg| {
+        eprintln!("usage error: {msg}");
+        std::process::exit(exitcode::USAGE);
+    })
+}
+
+/// `repro fleet` without `--store`: one streaming run of the sharded
+/// fleet executor (DESIGN.md §16). Defaults to the BENCH headline
+/// workload — effort × 10⁶ vehicles, [`perf::FLEET_BENCH_ROUNDS`] rounds
+/// each — and with `--telemetry` regenerates `BENCH_fleet.json` from the
+/// same workload (warm-up + shard ladder).
+fn run_fleet_scale(
+    o: &storecli::StoreCliOpts,
+    shards: Option<usize>,
+    effort: Effort,
+    telemetry: bool,
+) {
+    use decos::prelude::*;
+    let cfg = FleetConfig {
+        vehicles: o.vehicles.unwrap_or_else(|| effort.scale(perf::FLEET_BENCH_VEHICLES)),
+        rounds: o.rounds.unwrap_or(perf::FLEET_BENCH_ROUNDS),
+        accel: o.accel.unwrap_or(10.0),
+        seed: o.seed.unwrap_or(2026),
+    };
+    if telemetry {
+        run_bench(perf::bench_fleet_workload(cfg, shards, effort.0), "BENCH_fleet.json");
+        return;
+    }
+    match perf::fleet_once(cfg, shards) {
+        Ok((out, wall_secs)) => {
+            let snap = out.telemetry.as_ref().expect("telemetry on");
+            let slots = snap.counter("slots_simulated").unwrap_or(0);
+            println!(
+                "fleet vehicles={} rounds={} seed={} shards={}: {:.2}s wall, \
+                 {:.0} vehicles/sec, {:.0} slots/sec",
+                cfg.vehicles,
+                cfg.rounds,
+                cfg.seed,
+                shards.map_or_else(|| "auto".to_string(), |s| s.to_string()),
+                wall_secs,
+                cfg.vehicles as f64 / wall_secs,
+                slots as f64 / wall_secs,
+            );
+            println!(
+                "  nff={:.3} degraded={} retained={}/{} (stride {}) fingerprint_hash={:016x}",
+                out.decos.nff_ratio(),
+                out.degraded_vehicles,
+                out.vehicles.len(),
+                out.vehicles.total(),
+                out.vehicles.stride(),
+                decos::store::fnv1a(snap.counter_fingerprint().as_bytes())
+            );
+        }
+        Err(e) => {
+            eprintln!("fleet failed: {e}");
+            std::process::exit(exitcode::FAILURE);
+        }
+    }
+}
+
 /// The perf-trajectory gate: exits 6 on a regression beyond tolerance,
 /// 5 on a determinism mismatch.
 fn run_bench_compare(effort: Effort, tolerance: f64) {
@@ -236,10 +315,21 @@ fn run_bench_compare(effort: Effort, tolerance: f64) {
                 "FAIL (non-deterministic)"
             } else if r.regressed {
                 "FAIL (regression)"
+            } else if r.vehicles.is_some_and(|v| v.regressed) {
+                "FAIL (vehicles/sec regression)"
             } else {
                 "FAIL (phase regression)"
             }
         );
+        if let Some(v) = r.vehicles {
+            println!(
+                "  vehicles/sec: baseline {:.0}, current {:.0} ({:+.1}%) — {}",
+                v.baseline,
+                v.current,
+                (v.current / v.baseline - 1.0) * 100.0,
+                if v.regressed { "FAIL" } else { "ok" }
+            );
+        }
         for p in &r.phases {
             println!(
                 "  {} p50: baseline {} ns, current {} ns — {}",
@@ -268,26 +358,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let flag_value = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
-    let effort = flag_value("--effort")
-        .and_then(|v| v.parse::<f64>().ok())
-        .map(Effort)
-        .unwrap_or(Effort(1.0));
+    let effort = numeric_flag(&args, "--effort").map_or(Effort(1.0), Effort);
     let telemetry = args.iter().any(|a| a == "--telemetry");
     let trace = flag_value("--trace").cloned();
     let flightrec = flag_value("--flightrec").cloned();
-    let tolerance = flag_value("--tolerance")
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(compare::DEFAULT_TOLERANCE);
+    let tolerance = numeric_flag(&args, "--tolerance").unwrap_or(compare::DEFAULT_TOLERANCE);
     let store_dir = flag_value("--store").cloned();
     let resume_dir = flag_value("--resume").cloned();
+    let shards: Option<usize> = numeric_flag(&args, "--shards");
     let store_opts = storecli::StoreCliOpts {
-        rounds: flag_value("--rounds").and_then(|v| v.parse().ok()),
-        vehicles: flag_value("--vehicles").and_then(|v| v.parse().ok()),
-        seed: flag_value("--seed").and_then(|v| v.parse().ok()),
-        accel: flag_value("--accel").and_then(|v| v.parse().ok()),
-        snapshot_every: flag_value("--snapshot-every").and_then(|v| v.parse().ok()),
-        sync_every: flag_value("--sync-every").and_then(|v| v.parse().ok()),
-        chunk: flag_value("--chunk").and_then(|v| v.parse().ok()),
+        rounds: numeric_flag(&args, "--rounds"),
+        vehicles: numeric_flag(&args, "--vehicles"),
+        seed: numeric_flag(&args, "--seed"),
+        accel: numeric_flag(&args, "--accel"),
+        snapshot_every: numeric_flag(&args, "--snapshot-every"),
+        sync_every: numeric_flag(&args, "--sync-every"),
+        chunk: numeric_flag(&args, "--chunk"),
     };
     const VALUE_FLAGS: &[&str] = &[
         "--effort",
@@ -303,6 +389,7 @@ fn main() {
         "--snapshot-every",
         "--sync-every",
         "--chunk",
+        "--shards",
     ];
     let ids: Vec<&str> = args
         .iter()
@@ -325,8 +412,13 @@ fn main() {
             };
             std::process::exit(code);
         }
-        Some(&"campaign") | Some(&"fleet") => {
-            eprintln!("usage: repro {} --store <dir> [--rounds N] [--vehicles N] ...", ids[0]);
+        Some(&"fleet") => {
+            // Storeless fleet = the streaming scale workload (§16).
+            run_fleet_scale(&store_opts, shards, effort, telemetry);
+            return;
+        }
+        Some(&"campaign") => {
+            eprintln!("usage: repro campaign --store <dir> [--rounds N] [--seed N] ...");
             std::process::exit(exitcode::USAGE);
         }
         Some(&"resume") => {
@@ -385,6 +477,7 @@ fn main() {
         );
         eprintln!("       repro trace-report <flightrec.jsonl> [BENCH_*.json]");
         eprintln!("       repro bench-compare [--effort <f>] [--tolerance <f>]");
+        eprintln!("       repro fleet [--vehicles N] [--rounds N] [--shards N] [--telemetry]");
         eprintln!("       repro campaign|fleet --store <dir> [--rounds N] [--vehicles N] ...");
         eprintln!("       repro resume <dir> | repro store-stat <dir>");
         eprintln!("experiments: {IDS:?} plus bench-fleet, bench-slot");

@@ -33,6 +33,10 @@ pub struct Baseline {
     pub schema: String,
     /// Committed throughput, slots per wall-clock second.
     pub slots_per_sec: f64,
+    /// Committed fleet throughput, vehicles per wall-clock second.
+    /// `None` for the slot shape (where the field is `null`) and for
+    /// baselines predating it.
+    pub vehicles_per_sec: Option<f64>,
     /// Committed per-phase p50s, nanoseconds, as `(name, p50_ns)`.
     /// Empty for baselines predating phase quantiles.
     pub phase_p50: Vec<(String, u64)>,
@@ -55,6 +59,10 @@ pub fn read_baseline(path: &str) -> Result<Baseline, String> {
     let slots_per_sec = serde::value::field(entries, "slots_per_sec")
         .and_then(|s| s.as_f64())
         .map_err(|e| format!("{path}: {e}"))?;
+    // Absent (old slot schema) and `null` (new slot schema) both mean
+    // "this shape has no fleet rate" — neither is an error.
+    let vehicles_per_sec =
+        serde::value::field(entries, "vehicles_per_sec").ok().and_then(|s| s.as_f64().ok());
     let mut phase_p50 = Vec::new();
     if let Ok(phases) = serde::value::field(entries, "phases").and_then(|p| p.as_seq()) {
         for p in phases {
@@ -68,7 +76,7 @@ pub fn read_baseline(path: &str) -> Result<Baseline, String> {
             phase_p50.push((name, p50));
         }
     }
-    Ok(Baseline { schema, slots_per_sec, phase_p50 })
+    Ok(Baseline { schema, slots_per_sec, vehicles_per_sec, phase_p50 })
 }
 
 /// The gate predicate, kept pure so the synthetic-regression test pins
@@ -106,6 +114,17 @@ pub struct PhaseGate {
     pub regressed: bool,
 }
 
+/// The fleet-rate leg of a shape's verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehiclesGate {
+    /// Committed baseline, vehicles/sec.
+    pub baseline: f64,
+    /// Measured rate, vehicles/sec.
+    pub current: f64,
+    /// Whether the measured rate fails the tolerance.
+    pub regressed: bool,
+}
+
 /// One shape's gate verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateResult {
@@ -119,6 +138,9 @@ pub struct GateResult {
     pub regressed: bool,
     /// Whether the measured run's same-seed fingerprints agreed.
     pub deterministic: bool,
+    /// Fleet throughput verdict — `None` when either side has no
+    /// vehicles/sec (the slot shape, or a pre-fleet-rate baseline).
+    pub vehicles: Option<VehiclesGate>,
     /// Per-phase p50 verdicts over [`GATED_PHASES`] (empty when the
     /// committed baseline predates phase quantiles).
     pub phases: Vec<PhaseGate>,
@@ -127,7 +149,10 @@ pub struct GateResult {
 impl GateResult {
     /// Whether this shape passes the gate.
     pub fn passed(&self) -> bool {
-        !self.regressed && self.deterministic && self.phases.iter().all(|p| !p.regressed)
+        !self.regressed
+            && self.deterministic
+            && self.vehicles.is_none_or(|v| !v.regressed)
+            && self.phases.iter().all(|p| !p.regressed)
     }
 
     fn of(name: &'static str, baseline: &Baseline, report: &BenchReport, tol: f64) -> Self {
@@ -144,12 +169,21 @@ impl GateResult {
                 })
             })
             .collect();
+        let vehicles = match (baseline.vehicles_per_sec, report.vehicles_per_sec) {
+            (Some(base), Some(cur)) if base > 0.0 => Some(VehiclesGate {
+                baseline: base,
+                current: cur,
+                regressed: regressed(base, cur, tol),
+            }),
+            _ => None,
+        };
         GateResult {
             name,
             baseline: baseline.slots_per_sec,
             current: report.slots_per_sec,
             regressed: regressed(baseline.slots_per_sec, report.slots_per_sec, tol),
             deterministic: report.deterministic,
+            vehicles,
             phases,
         }
     }
@@ -194,6 +228,7 @@ mod tests {
         let baseline = Baseline {
             schema: "decos-bench-slot/2".to_string(),
             slots_per_sec: 100.0,
+            vehicles_per_sec: None,
             phase_p50: vec![("kernel".to_string(), 1000)],
         };
         let current = baseline.slots_per_sec * 0.85; // 15% slower
@@ -227,6 +262,7 @@ mod tests {
             current: 120.0,
             regressed: false,
             deterministic: true,
+            vehicles: None,
             phases: vec![PhaseGate {
                 name: "kernel".to_string(),
                 baseline_p50_ns: 511,
@@ -235,6 +271,24 @@ mod tests {
             }],
         };
         assert!(!r.passed(), "a phase p50 regression must fail the shape");
+    }
+
+    #[test]
+    fn vehicles_rate_feeds_the_shape_verdict() {
+        let mut r = GateResult {
+            name: "fleet",
+            baseline: 100.0,
+            current: 120.0,
+            regressed: false,
+            deterministic: true,
+            vehicles: Some(VehiclesGate { baseline: 1000.0, current: 500.0, regressed: true }),
+            phases: Vec::new(),
+        };
+        assert!(!r.passed(), "a vehicles/sec regression must fail the fleet shape");
+        r.vehicles = Some(VehiclesGate { baseline: 1000.0, current: 980.0, regressed: false });
+        assert!(r.passed());
+        r.vehicles = None;
+        assert!(r.passed(), "shapes without a fleet rate gate only slots/sec");
     }
 
     #[test]

@@ -817,11 +817,12 @@ pub fn e9_actions(effort: Effort) -> E9Actions {
         seed: 808,
     };
     let out = run_fleet(&fig10::reference_spec(), cfg).expect("reference spec analyzes clean");
+    // Exact per-class aggregates from the streaming accumulator — E9 no
+    // longer depends on which vehicles the retention policy sampled.
     let mut per_class: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-    for v in &out.vehicles {
-        let e = per_class.entry(v.truth_class.to_string()).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += v.decos.correct_actions;
+    for (class, &cases) in &out.class_counts {
+        let correct = out.class_correct.get(class).copied().unwrap_or(0);
+        per_class.insert(class.clone(), (cases, correct));
     }
     E9Actions {
         vehicles: cfg.vehicles,

@@ -7,6 +7,7 @@
 //! flight-recorder JSONL dumps and `repro trace-report`. Criterion
 //! benches live under `benches/`.
 
+pub mod cliflags;
 pub mod compare;
 pub mod experiments;
 pub mod flightdump;

@@ -3,8 +3,11 @@
 //!
 //! Two benchmark shapes track the repo's perf trajectory:
 //!
-//! * [`bench_fleet`] — the rayon-parallel fleet driver end to end
-//!   (vehicles/sec, slots/sec), written to `BENCH_fleet.json`;
+//! * [`bench_fleet`] — the sharded streaming fleet executor end to end
+//!   (vehicles/sec, slots/sec, per-shard-count scaling), written to
+//!   `BENCH_fleet.json`. The headline workload is a million short
+//!   vehicles ([`FLEET_BENCH_ROUNDS`] rounds each): fleet *throughput*
+//!   is the claim, per-vehicle depth is the slot shape's job;
 //! * [`bench_slot`] — a single campaign through the full slot pipeline
 //!   (slots/sec plus per-phase p50/p99), written to `BENCH_slot.json`.
 //!
@@ -25,15 +28,39 @@ use serde::Serialize;
 
 use crate::Effort;
 
-/// Schema tag for `BENCH_fleet.json`. `/2`: fault-lifecycle latency
-/// counters/gauges joined the telemetry registry.
-pub const FLEET_SCHEMA: &str = "decos-bench-fleet/2";
+/// Schema tag for `BENCH_fleet.json`. `/3`: the workload moved to the
+/// sharded streaming executor (million-vehicle headline, fixed
+/// [`FLEET_BENCH_ROUNDS`] per vehicle so `vehicles_per_sec` is comparable
+/// across efforts) and the report gained the per-shard-count `scaling`
+/// ladder. `/2` added the fault-lifecycle latency counters/gauges.
+pub const FLEET_SCHEMA: &str = "decos-bench-fleet/3";
+
+/// Rounds per vehicle in the fleet benchmark. Deliberately *not* scaled
+/// by effort: effort scales the vehicle count only, so `vehicles_per_sec`
+/// measures the same per-vehicle workload at every effort and stays
+/// gateable across efforts.
+pub const FLEET_BENCH_ROUNDS: u64 = 40;
+
+/// Vehicles in the fleet benchmark at effort 1.0 — the ROADMAP item 1
+/// fleet scale (10⁶).
+pub const FLEET_BENCH_VEHICLES: u64 = 1_000_000;
 /// Schema tag for `BENCH_slot.json`. `/2`: `vehicles_per_sec` is now
 /// `null` for this non-fleet shape (it used to be a meaningless `0.0`),
 /// and the lifecycle latency metrics joined the registry.
 pub const SLOT_SCHEMA: &str = "decos-bench-slot/2";
 /// Schema tag for each JSONL trace row.
 pub const TRACE_SCHEMA: &str = "decos-trace-round/1";
+
+/// One rung of the fleet benchmark's shard-scaling ladder.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardScaling {
+    /// Executor shard count of this rung.
+    pub shards: usize,
+    /// Wall-clock seconds of the rung's timed run.
+    pub wall_secs: f64,
+    /// Vehicles completed per wall-clock second at this shard count.
+    pub vehicles_per_sec: f64,
+}
 
 /// Per-phase latency summary extracted from a [`TelemetrySnapshot`].
 #[derive(Debug, Clone, Serialize)]
@@ -73,6 +100,12 @@ pub struct BenchReport {
     pub deterministic: bool,
     /// Canonical `name=value;` counter/gauge fingerprint of the run.
     pub counter_fingerprint: String,
+    /// Shard-count scaling ladder of the fleet shape (1, powers of two,
+    /// then the host's available parallelism; a pinned `--shards` run has
+    /// one rung). Empty for the slot shape. Timing fields — *not* part of
+    /// the determinism contract; the counter fingerprints of every rung
+    /// *are*, and feed [`BenchReport::deterministic`].
+    pub scaling: Vec<ShardScaling>,
     /// Per-phase wall-time quantiles (timing fields — *not* part of the
     /// determinism contract).
     pub phases: Vec<PhaseQuantiles>,
@@ -94,25 +127,68 @@ fn phase_quantiles(snap: &TelemetrySnapshot) -> Vec<PhaseQuantiles> {
         .collect()
 }
 
-/// Benchmarks the fleet driver: two same-seed telemetry runs, timed on the
-/// second (warm) one.
+/// Benchmarks the fleet executor on the headline workload:
+/// `effort × 10⁶` vehicles, [`FLEET_BENCH_ROUNDS`] rounds each.
 pub fn bench_fleet(effort: Effort) -> BenchReport {
     let cfg = FleetConfig {
-        vehicles: effort.scale(24),
-        rounds: effort.scale(1_500),
+        vehicles: effort.scale(FLEET_BENCH_VEHICLES),
+        rounds: FLEET_BENCH_ROUNDS,
         accel: 10.0,
         seed: 2026,
     };
-    let opts = FleetOptions { telemetry: true, ..FleetOptions::default() };
+    bench_fleet_workload(cfg, None, effort.0)
+}
+
+/// The shard-count ladder the fleet benchmark climbs: 1, powers of two,
+/// then the host's available parallelism.
+fn shard_ladder() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut ladder = vec![1];
+    let mut s = 2;
+    while s < max {
+        ladder.push(s);
+        s *= 2;
+    }
+    if max > 1 {
+        ladder.push(max);
+    }
+    ladder
+}
+
+/// Benchmarks an explicit fleet workload: one untimed warm-up run, then
+/// one timed run per shard-ladder rung (a pinned `shards` collapses the
+/// ladder to that one rung). Every run uses the same seed, and the report
+/// is `deterministic` only if *all* counter fingerprints agree — which
+/// folds the shard-count-invariance contract into the CI gate.
+pub fn bench_fleet_workload(cfg: FleetConfig, shards: Option<usize>, effort: f64) -> BenchReport {
     let spec = fig10::reference_spec();
     let params = EngineParams::default();
+    let opts = FleetOptions { telemetry: true, ..FleetOptions::default() };
     let first = run_fleet_configured(&spec, cfg, params, &opts).expect("fleet run");
-    let t0 = Instant::now();
-    let second = run_fleet_configured(&spec, cfg, params, &opts).expect("fleet run");
-    let wall_secs = t0.elapsed().as_secs_f64();
-    let snap = second.telemetry.expect("telemetry on");
-    let fp_a = first.telemetry.expect("telemetry on").counter_fingerprint();
-    let fp_b = snap.counter_fingerprint();
+    let reference_fp = first.telemetry.expect("telemetry on").counter_fingerprint();
+    let ladder = match shards {
+        Some(s) => vec![s.max(1)],
+        None => shard_ladder(),
+    };
+    let mut scaling = Vec::with_capacity(ladder.len());
+    let mut deterministic = true;
+    let mut wall_secs = 0.0;
+    let mut last = None;
+    for s in ladder {
+        let opts = FleetOptions { shards: Some(s), ..opts.clone() };
+        let t0 = Instant::now();
+        let out = run_fleet_configured(&spec, cfg, params, &opts).expect("fleet run");
+        wall_secs = t0.elapsed().as_secs_f64();
+        let fp = out.telemetry.as_ref().expect("telemetry on").counter_fingerprint();
+        deterministic &= fp == reference_fp;
+        scaling.push(ShardScaling {
+            shards: s,
+            wall_secs,
+            vehicles_per_sec: cfg.vehicles as f64 / wall_secs,
+        });
+        last = Some(out);
+    }
+    let snap = last.expect("ladder has at least one rung").telemetry.expect("telemetry on");
     let slots = snap.counter("slots_simulated").unwrap_or(0);
     BenchReport {
         schema: FLEET_SCHEMA.to_string(),
@@ -120,15 +196,30 @@ pub fn bench_fleet(effort: Effort) -> BenchReport {
             "fleet vehicles={} rounds={} accel={} seed={}",
             cfg.vehicles, cfg.rounds, cfg.accel, cfg.seed
         ),
-        effort: effort.0,
+        effort,
         wall_secs,
         vehicles_per_sec: Some(cfg.vehicles as f64 / wall_secs),
         slots_per_sec: slots as f64 / wall_secs,
-        deterministic: fp_a == fp_b,
-        counter_fingerprint: fp_b,
+        deterministic,
+        counter_fingerprint: snap.counter_fingerprint(),
+        scaling,
         phases: phase_quantiles(&snap),
         telemetry: snap,
     }
+}
+
+/// One timed streaming-fleet run (telemetry on so the caller can print
+/// the counter fingerprint). The cheap path behind `repro fleet` without
+/// `--telemetry`: no warm-up, no ladder.
+pub fn fleet_once(
+    cfg: FleetConfig,
+    shards: Option<usize>,
+) -> Result<(FleetOutcome, f64), CampaignError> {
+    let spec = fig10::reference_spec();
+    let opts = FleetOptions { telemetry: true, shards, ..FleetOptions::default() };
+    let t0 = Instant::now();
+    let out = run_fleet_configured(&spec, cfg, EngineParams::default(), &opts)?;
+    Ok((out, t0.elapsed().as_secs_f64()))
 }
 
 /// Benchmarks a single campaign through the full slot pipeline: two
@@ -163,6 +254,7 @@ pub fn bench_slot(effort: Effort) -> BenchReport {
         slots_per_sec: slots as f64 / wall_secs,
         deterministic: fp_a == fp_b,
         counter_fingerprint: fp_b,
+        scaling: Vec::new(),
         phases: phase_quantiles(&snap),
         telemetry: snap,
     }
@@ -317,16 +409,30 @@ mod tests {
 
     #[test]
     fn fleet_bench_is_deterministic() {
-        let r = bench_fleet(Effort(0.05));
-        assert!(r.deterministic, "same-seed counter fingerprints must agree");
+        // Effort 0.0002 of the million-vehicle headline = 200 vehicles,
+        // still FLEET_BENCH_ROUNDS rounds each (rounds don't scale).
+        let r = bench_fleet(Effort(0.0002));
+        assert!(r.deterministic, "fingerprints must agree across runs and shard counts");
+        assert_eq!(r.schema, FLEET_SCHEMA);
         assert!(r.vehicles_per_sec.expect("fleet shape reports vehicles/sec") > 0.0);
-        assert!(r.telemetry.counter("vehicles").unwrap() > 0);
+        assert_eq!(r.telemetry.counter("vehicles").unwrap(), 200);
         assert_eq!(
             r.telemetry.counter("slots_simulated").unwrap()
                 % r.telemetry.counter("vehicles").unwrap(),
             0,
             "every vehicle simulates the same slot count"
         );
+        assert!(!r.scaling.is_empty(), "fleet shape records its shard ladder");
+        assert_eq!(r.scaling[0].shards, 1, "ladder starts at one shard");
+    }
+
+    #[test]
+    fn fleet_bench_ladder_collapses_when_shards_are_pinned() {
+        let cfg = FleetConfig { vehicles: 96, rounds: 30, accel: 10.0, seed: 9 };
+        let r = bench_fleet_workload(cfg, Some(2), 1.0);
+        assert!(r.deterministic, "two shards must fingerprint like the warm-up run");
+        assert_eq!(r.scaling.len(), 1);
+        assert_eq!(r.scaling[0].shards, 2);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   (every `run_campaign*` entry point refuses experiments with
 //!   error-severity diagnostics; `decos-lint` exposes the same pass on the
 //!   command line);
-//! * [`runner`] / [`fleet`] — campaign and rayon-parallel fleet drivers;
+//! * [`runner`] / [`fleet`] — campaign driver and the sharded streaming
+//!   fleet executor ([`fleet_exec`]: work-stealing index blocks folding
+//!   into per-shard accumulators, bit-identical for any shard count);
 //! * [`store`] / [`store_run`] — crash-safe event-sourced persistence:
 //!   an append-only CRC-framed journal plus snapshots, with bit-identical
 //!   resume (`decos-store` + the runner glue);
@@ -58,6 +60,7 @@ pub use decos_ttnet as ttnet;
 pub use decos_vnet as vnet;
 
 pub mod fleet;
+pub mod fleet_exec;
 pub mod runner;
 pub mod store_run;
 pub mod workshop;
@@ -65,8 +68,9 @@ pub mod workshop;
 /// The working set most users need.
 pub mod prelude {
     pub use crate::fleet::{
-        run_fleet, run_fleet_configured, run_fleet_with_params, FleetConfig, FleetOptions,
-        FleetOutcome, VehicleOutcome,
+        run_fleet, run_fleet_configured, run_fleet_with_params, FleetAccumulator, FleetConfig,
+        FleetOptions, FleetOutcome, FleetRetention, RetainedVehicles, SampledVehicle,
+        VehicleOutcome, FLEET_BLOCK,
     };
     pub use crate::runner::{
         run_campaign, run_campaign_observed, run_campaign_opts, run_campaign_with,

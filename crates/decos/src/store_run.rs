@@ -16,7 +16,12 @@
 //!
 //! A fleet resume is cheaper: vehicles are independent, so committed
 //! vehicle records are *skipped* outright (their outcomes are read back
-//! from the journal) and only missing vehicles are simulated.
+//! from the journal) and only missing vehicles are simulated. Both kinds
+//! stream through the same [`FleetAccumulator`] the in-memory executor
+//! uses, folded in ascending vehicle-index order behind a watermark — so
+//! the resumed aggregate (including its one order-sensitive float sum) is
+//! bit-identical to the uninterrupted run's, and resident memory stays
+//! bounded even for 10⁶-vehicle fleets.
 //!
 //! # What guards the journal
 //!
@@ -27,7 +32,7 @@
 //! simulation or journal mutation.
 
 use crate::fleet::{
-    aggregate_fleet, run_vehicle, FleetConfig, FleetOptions, FleetOutcome, VehicleOutcome,
+    run_vehicle, FleetAccumulator, FleetConfig, FleetOptions, FleetOutcome, VehicleOutcome,
 };
 use crate::runner::{run_campaign_opts, Campaign, CampaignError, CampaignOutcome, RunOptions};
 use decos_analyzer::{analyze, AnalysisReport, DiagCode, Diagnostic, ExperimentSpec, Severity};
@@ -661,7 +666,36 @@ pub fn run_fleet_stored<IO: StoreIo>(
     let seeds = SeedSource::new(cfg.seed);
     let missing: Vec<u64> = (0..cfg.vehicles).filter(|v| !fs.committed.contains_key(v)).collect();
     let chunk = policy.chunk.max(1);
-    let mut fresh: BTreeMap<u64, (VehicleOutcome, Option<TelemetrySnapshot>)> = BTreeMap::new();
+    // Streaming fold: journaled and freshly simulated vehicles both drain
+    // into the same accumulator the in-memory executor uses, strictly in
+    // ascending index order behind the `next` watermark. `pending` only
+    // ever holds the not-yet-drainable part of one batch, so resident
+    // memory stays bounded regardless of fleet size.
+    let mut acc = FleetAccumulator::new(cfg.vehicles, opts.retain);
+    let mut next: u64 = 0;
+    let mut pending: BTreeMap<u64, (VehicleOutcome, Option<TelemetrySnapshot>)> = BTreeMap::new();
+    let drain = |acc: &mut FleetAccumulator,
+                 pending: &mut BTreeMap<u64, (VehicleOutcome, Option<TelemetrySnapshot>)>,
+                 next: &mut u64,
+                 verified: &mut u64| {
+        while *next < cfg.vehicles {
+            if let Some((outcome, telemetry)) = pending.remove(next) {
+                acc.record(*next, outcome, telemetry);
+            } else if let Some(vr) = fs.committed.get(next) {
+                // Reused straight from the journal — the compute a resume
+                // saves.
+                *verified += 1;
+                acc.record(
+                    *next,
+                    vr.outcome.clone(),
+                    vr.counters.as_deref().map(snapshot_from_counters),
+                );
+            } else {
+                break;
+            }
+            *next += 1;
+        }
+    };
     for batch in missing.chunks(chunk) {
         let results: Vec<(u64, (VehicleOutcome, Option<TelemetrySnapshot>))> = batch
             .to_vec()
@@ -689,10 +723,14 @@ pub fn run_fleet_stored<IO: StoreIo>(
             stats.appended += 1;
         }
         fs.store.sync()?;
+        // Fold only after the batch is journaled and synced: the
+        // accumulator must never get ahead of the crash-consistent
+        // prefix it claims to summarize.
         for (v, r) in results {
-            fresh.insert(v, r);
+            pending.insert(v, r);
         }
-        let done = (fs.committed.len() + fresh.len()) as u64;
+        drain(&mut acc, &mut pending, &mut next, &mut stats.verified);
+        let done = fs.committed.len() as u64 + stats.appended;
         if policy.snapshot_every > 0 && stats.appended > 0 && done % policy.snapshot_every == 0 {
             let snap = FleetSnapshot {
                 schema: FLEET_SNAP_SCHEMA.to_string(),
@@ -704,25 +742,14 @@ pub fn run_fleet_stored<IO: StoreIo>(
             fs.store.write_snapshot(&snap_name(done), &body)?;
         }
     }
-    // Aggregate in index order regardless of which vehicles came from the
-    // journal and which were just simulated — the fold is order-dependent
-    // only in its floating-point sums, and index order makes it identical
-    // to the uninterrupted run's.
-    let mut results: Vec<(VehicleOutcome, Option<TelemetrySnapshot>)> =
-        Vec::with_capacity(cfg.vehicles as usize);
-    for v in 0..cfg.vehicles {
-        if let Some(r) = fresh.remove(&v) {
-            results.push(r);
-        } else if let Some(vr) = fs.committed.get(&v) {
-            // Reused straight from the journal — the compute a resume saves.
-            stats.verified += 1;
-            results.push((vr.outcome.clone(), vr.counters.as_deref().map(snapshot_from_counters)));
-        } else {
-            return Err(StoreError::Corrupt(format!(
-                "vehicle {v} neither committed nor simulated"
-            ))
-            .into());
-        }
+    // An all-committed resume (no missing vehicles, hence no batches)
+    // still has to fold the journal back; the watermark also catches a
+    // store whose committed set has holes.
+    drain(&mut acc, &mut pending, &mut next, &mut stats.verified);
+    if next < cfg.vehicles {
+        return Err(
+            StoreError::Corrupt(format!("vehicle {next} neither committed nor simulated")).into()
+        );
     }
     if cfg.vehicles > fs.store.manifest().vehicles {
         let mut m = fs.store.manifest().clone();
@@ -733,6 +760,5 @@ pub fn run_fleet_stored<IO: StoreIo>(
     stats.journal_bytes = fs.store.journal_len();
     stats.fsyncs = fs.store.stats().fsyncs;
     stats.snapshots_written = fs.store.stats().snapshots_written;
-    let outcome = aggregate_fleet(cfg, results);
-    Ok((outcome, stats))
+    Ok((acc.finish(), stats))
 }

@@ -43,6 +43,16 @@ impl ConfusionMatrix {
         self.counts[Self::index(truth)][p]
     }
 
+    /// Merges another matrix (fleet shard aggregation). Cell-wise `u64`
+    /// addition, so the merged matrix is independent of merge order.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for (row, orow) in self.counts.iter_mut().zip(&other.counts) {
+            for (cell, ocell) in row.iter_mut().zip(orow) {
+                *cell += ocell;
+            }
+        }
+    }
+
     /// Total recorded outcomes.
     pub fn total(&self) -> u64 {
         self.counts.iter().flatten().sum()
@@ -211,6 +221,20 @@ mod tests {
         let table = m.render();
         assert!(table.contains("c-int"));
         assert!(table.contains("undec"));
+    }
+
+    #[test]
+    fn confusion_matrices_merge_cellwise() {
+        let mut a = ConfusionMatrix::new();
+        a.record(FaultClass::ComponentInternal, Some(FaultClass::ComponentInternal));
+        let mut b = ConfusionMatrix::new();
+        b.record(FaultClass::ComponentInternal, None);
+        b.record(FaultClass::ComponentExternal, Some(FaultClass::ComponentExternal));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(FaultClass::ComponentInternal, None), 1);
+        assert_eq!(a.count(FaultClass::ComponentInternal, Some(FaultClass::ComponentInternal)), 1);
+        assert_eq!(a.count(FaultClass::ComponentExternal, Some(FaultClass::ComponentExternal)), 1);
     }
 
     #[test]

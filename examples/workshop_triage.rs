@@ -15,7 +15,7 @@ use decos::prelude::*;
 
 fn main() {
     let cfg = FleetConfig { vehicles: 60, rounds: 4_000, accel: 10.0, seed: 2005 };
-    println!("simulating {} vehicles × {} rounds (rayon-parallel)...", cfg.vehicles, cfg.rounds);
+    println!("simulating {} vehicles × {} rounds (sharded streaming)...", cfg.vehicles, cfg.rounds);
     let out = run_fleet(&fig10::reference_spec(), cfg).expect("reference spec analyzes clean");
 
     println!("\nground-truth fault mix:");

@@ -167,7 +167,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     mut f: F,
 ) {
     // Warm-up: run for a short budget to calibrate cost per iteration.
-    let mut warm = Bencher { mode: Mode::Warmup { budget: Duration::from_millis(60) }, result: None };
+    let mut warm =
+        Bencher { mode: Mode::Warmup { budget: Duration::from_millis(60) }, result: None };
     f(&mut warm);
     let (warm_iters, warm_time) = warm.result.expect("bench closure must call Bencher::iter");
     let per_iter_ns = (warm_time.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);

@@ -66,10 +66,8 @@ pub fn run_cases<F>(name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
-    let cases: u64 = std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let cases: u64 =
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
     let mut rng = TestRng::from_name(name);
     let mut accepted = 0u64;
     let mut attempts = 0u64;
@@ -458,7 +456,9 @@ macro_rules! prop_assert_ne {
         if *__a == *__b {
             return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
                 "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($a), stringify!($b), __a
+                stringify!($a),
+                stringify!($b),
+                __a
             )));
         }
     }};

@@ -136,4 +136,48 @@ mod tests {
         let xs: Vec<u64> = (0u64..0).into_par_iter().map(|i| i).collect();
         assert!(xs.is_empty());
     }
+
+    #[test]
+    fn fewer_items_than_workers_still_covers_every_item() {
+        // n below available_parallelism exercises the worker clamp
+        // (`workers = cores.min(n)`): no empty chunk may drop items.
+        for n in 1usize..=4 {
+            let xs: Vec<usize> = (0..n).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(xs, (1..=n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn one_more_item_than_workers_spreads_the_remainder() {
+        // n = workers + 1 puts the remainder item on the leading chunk.
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let n = workers + 1;
+        let xs: Vec<usize> = (0..n).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(xs.len(), n);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_cost_items_keep_input_order() {
+        // A straggler at index 0 must not reorder the collected output
+        // (collect is order-stable by chunk reassembly, not finish time).
+        let xs: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                i
+            })
+            .collect();
+        assert_eq!(xs, (0u64..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plain_collect_roundtrips() {
+        let xs: Vec<u32> = (5u32..9).into_par_iter().collect();
+        assert_eq!(xs, vec![5, 6, 7, 8]);
+    }
 }

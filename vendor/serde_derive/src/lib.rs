@@ -210,9 +210,8 @@ fn emit_serialize(input: &Input) -> String {
         Shape::Unit => format!("{V}::Null"),
         Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let items: Vec<String> = (0..*n)
-                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
-                .collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
             format!("{V}::Seq(::std::vec![{}])", items.join(", "))
         }
         Shape::Named(fields) => {
